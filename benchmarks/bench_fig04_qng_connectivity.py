@@ -1,0 +1,73 @@
+"""Fig. 3/4 — QNG connectivity vs. query accuracy.
+
+Paper: (a) per-query recall strongly correlates with the average number of
+points reachable inside the query's k-Neighboring Graph; (b) OOD queries'
+QNGs are weaker than ID queries' on average, but both populations are mixed
+(~30% of OOD QNGs are strong, ~10% of ID QNGs are weak).
+"""
+
+import numpy as np
+
+from repro.core.analysis import qng_recall_correlation
+from repro.core.qng import build_qng, average_reachable
+
+from workbench import K, get_dataset, get_gt, get_hnsw, get_id_gt, record, search_op
+
+NAME = "laion-sim"
+
+
+def test_fig04a_connectivity_recall_correlation(benchmark):
+    ds = get_dataset(NAME)
+    index = get_hnsw(NAME)
+    out = qng_recall_correlation(index, ds.test_queries, get_gt(NAME),
+                                 k=K, ef=int(1.5 * K))
+    # bucket by reachability fraction, report mean recall per bucket
+    frac = out["avg_reachable"] / K
+    rows = []
+    for lo, hi in [(0.0, 0.4), (0.4, 0.7), (0.7, 0.9), (0.9, 1.01)]:
+        mask = (frac >= lo) & (frac < hi)
+        if mask.any():
+            rows.append((f"[{lo:.1f},{hi:.1f})", int(mask.sum()),
+                         round(float(out["recalls"][mask].mean()), 3)))
+    record(
+        "fig04a", f"QNG avg-reachable fraction vs recall@{K} ({NAME}), "
+        f"pearson r = {out['pearson_r']:.3f}",
+        ["reachable-frac", "n-queries", "mean-recall"],
+        rows,
+        notes="paper Fig.4(a): strong positive correlation",
+    )
+    assert out["pearson_r"] > 0.3
+    means = [r[2] for r in rows]
+    assert means[-1] > means[0]
+    benchmark(search_op(index, NAME))
+
+
+def test_fig04b_ood_vs_id_connectivity(benchmark):
+    ds = get_dataset(NAME)
+    index = get_hnsw(NAME)
+
+    def reach_fracs(gt):
+        return np.array([
+            average_reachable(build_qng(index.adjacency.neighbors,
+                                        gt.ids[i][:K])) / K
+            for i in range(gt.n_queries)
+        ])
+
+    ood = reach_fracs(get_gt(NAME))
+    ident = reach_fracs(get_id_gt(NAME))
+    rows = [
+        ("OOD", round(float(ood.mean()), 3), round(float((ood > 0.9).mean()), 3),
+         round(float((ood < 0.4).mean()), 3)),
+        ("ID", round(float(ident.mean()), 3), round(float((ident > 0.9).mean()), 3),
+         round(float((ident < 0.4).mean()), 3)),
+    ]
+    record(
+        "fig04b", f"QNG connectivity, OOD vs ID queries ({NAME})",
+        ["workload", "mean reach-frac", "frac strong(>0.9)", "frac weak(<0.4)"],
+        rows,
+        notes="paper Fig.4(b): OOD weaker on average; both populations mixed",
+    )
+    assert ood.mean() < ident.mean()
+    assert (ood > 0.9).mean() > 0.02   # some OOD QNGs are still strong
+    benchmark(lambda: average_reachable(
+        build_qng(index.adjacency.neighbors, get_gt(NAME).ids[0][:K])))

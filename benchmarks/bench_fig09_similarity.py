@@ -1,0 +1,80 @@
+"""Fig. 9 — performance vs. test-query similarity to the historical workload.
+
+Paper: split LAION test queries by distance to the nearest historical query
+(high/moderate/low similarity); the fixed index is fastest on high-similarity
+queries, and the ef needed for a fixed recall grows as similarity drops —
+the observation motivating the adaptive-ef strategy of Sec. 7.
+"""
+
+import numpy as np
+
+from repro.core import AdaptiveSearcher
+from repro.distances import pairwise_distances
+from repro.evalx import compute_ground_truth, ef_for_recall, sweep
+
+from workbench import K, EFS, get_dataset, get_fixed, record, search_op
+
+NAME = "laion-sim"
+
+
+def _similarity_split(ds):
+    """Three query groups by distance to nearest historical query."""
+    d = pairwise_distances(ds.test_queries, ds.train_queries, ds.metric).min(axis=1)
+    lo, hi = np.quantile(d, [0.33, 0.66])
+    groups = {
+        "high-sim": ds.test_queries[d <= lo],
+        "moderate-sim": ds.test_queries[(d > lo) & (d <= hi)],
+        "low-sim": ds.test_queries[d > hi],
+    }
+    return groups, (lo, hi)
+
+
+def test_fig09_similarity_levels(benchmark):
+    ds = get_dataset(NAME)
+    fixer = get_fixed(NAME)
+    groups, cuts = _similarity_split(ds)
+    target = 0.95
+    rows = []
+    efs_needed = {}
+    for label, queries in groups.items():
+        gt = compute_ground_truth(ds.base, queries, K, ds.metric)
+        points = sweep(fixer, queries, gt, K, EFS)
+        ef_needed = ef_for_recall(points, target)
+        efs_needed[label] = ef_needed
+        recall_at_2k = next(p.recall for p in points if p.ef == 2 * K)
+        rows.append((label, len(queries), round(recall_at_2k, 3),
+                     ef_needed))
+    record(
+        "fig09", f"NGFix* by query similarity to history ({NAME}, "
+        f"cuts at {cuts[0]:.3f}/{cuts[1]:.3f})",
+        ["similarity", "n-queries", f"recall@{K} (ef={2*K})", f"ef for recall {target}"],
+        rows,
+        notes="paper Fig.9: closer-to-history queries are easier on the fixed index",
+    )
+    # Shape: high-similarity queries need no more ef than low-similarity ones.
+    if efs_needed["high-sim"] and efs_needed["low-sim"]:
+        assert efs_needed["high-sim"] <= efs_needed["low-sim"]
+    benchmark(search_op(fixer, NAME))
+
+
+def test_fig09_adaptive_ef_strategy(benchmark):
+    """The Sec. 7 follow-up: calibrated per-similarity ef reaches the target
+    recall with less average work than one global ef."""
+    ds = get_dataset(NAME)
+    fixer = get_fixed(NAME)
+    gt = compute_ground_truth(ds.base, ds.test_queries, K, ds.metric)
+    searcher = AdaptiveSearcher(fixer, ds.train_queries, n_bins=3)
+    table = searcher.calibrate(ds.test_queries, gt, k=K, target_recall=0.95,
+                               ef_grid=[K, 2 * K, 4 * K, 8 * K, 16 * K])
+
+    # average ef under the adaptive policy vs the single global ef
+    per_query_ef = [searcher.ef_for(q) for q in ds.test_queries]
+    global_ef = max(searcher._bin_ef)
+    rows = [(b, row["n_queries"], row["ef"]) for b, row in table.items()]
+    rows.append(("adaptive mean", len(per_query_ef),
+                 round(float(np.mean(per_query_ef)), 1)))
+    rows.append(("global", len(per_query_ef), global_ef))
+    record("fig09_adaptive", f"similarity-adaptive ef ({NAME}, target 0.95)",
+           ["bin", "n-queries", "ef"], rows)
+    assert np.mean(per_query_ef) <= global_ef
+    benchmark(lambda: searcher.search(ds.test_queries[0], k=K))

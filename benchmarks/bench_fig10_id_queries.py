@@ -1,0 +1,36 @@
+"""Fig. 10 — ID queries on cross-modal datasets are unharmed by OOD fixing.
+
+Paper: an index refined by NGFix* with OOD (text) historical queries still
+performs well on ID (image-to-image) queries: the extra edges sit where OOD
+queries live and do not disturb in-distribution search.
+"""
+
+import pytest
+
+from repro.evalx import evaluate_index
+
+from workbench import K, get_dataset, get_fixed, get_hnsw, get_id_gt, record, search_op
+
+NAMES = ("text2image-sim", "laion-sim")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fig10_id_queries_unaffected(benchmark, name):
+    ds = get_dataset(name)
+    gt_id = get_id_gt(name)
+    rows = []
+    deltas = []
+    for ef in (K, 2 * K, 4 * K):
+        before = evaluate_index(get_hnsw(name), ds.id_queries, gt_id, K, ef)
+        after = evaluate_index(get_fixed(name), ds.id_queries, gt_id, K, ef)
+        deltas.append(after.recall - before.recall)
+        rows.append((ef, round(before.recall, 4), round(after.recall, 4),
+                     round(before.ndc_per_query, 1), round(after.ndc_per_query, 1)))
+    record(
+        f"fig10_{name}", f"ID queries before/after OOD fixing ({name})",
+        ["ef", "HNSW recall", "NGFix* recall", "HNSW NDC", "NGFix* NDC"],
+        rows,
+        notes="paper Fig.10: fixing with OOD queries does not hurt ID queries",
+    )
+    assert min(deltas) > -0.03, f"ID recall regressed on {name}: {deltas}"
+    benchmark(search_op(get_fixed(name), name))

@@ -1,0 +1,68 @@
+"""Fig. 12 — effect of the historical-query-set size.
+
+Paper: NGFix* performance grows with history size but saturates early — it
+matches RoarGraph-10M using only 8-30% of the history, and a lightly-built
+HNSW with NGFix* reaches a heavily-built HNSW's quality with history equal
+to 1% of the base size.  The rightmost panel trades index size against QPS.
+
+Reproduced: QPS at fixed recall across history fractions for NGFix* vs full-
+history RoarGraph and plain HNSW, plus index-size rows.
+"""
+
+from repro.evalx import qps_at_recall
+
+from workbench import (
+    K,
+    get_dataset,
+    get_fixed,
+    get_hnsw,
+    get_roargraph,
+    record,
+    search_op,
+    sweep_index,
+)
+
+NAME = "text2image-sim"
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+TARGET = 0.95
+
+
+def test_fig12_history_size(benchmark):
+    roar_qps = qps_at_recall(sweep_index(get_roargraph(NAME), NAME), TARGET)
+    hnsw_qps = qps_at_recall(sweep_index(get_hnsw(NAME), NAME), TARGET)
+
+    rows = [("HNSW (no history)", 0, round(hnsw_qps, 1) if hnsw_qps else None,
+             get_hnsw(NAME).stats()["index_size_bytes"]),
+            ("RoarGraph (full history)", len(get_dataset(NAME).train_queries),
+             round(roar_qps, 1) if roar_qps else None,
+             get_roargraph(NAME).stats()["index_size_bytes"])]
+    qps_by_fraction = {}
+    for fraction in FRACTIONS:
+        fixer = get_fixed(NAME, history_fraction=fraction)
+        qps = qps_at_recall(sweep_index(fixer, NAME), TARGET)
+        qps_by_fraction[fraction] = qps
+        n_hist = int(fraction * len(get_dataset(NAME).train_queries))
+        rows.append((f"HNSW-NGFix* ({int(fraction*100)}% history)", n_hist,
+                     round(qps, 1) if qps else None,
+                     fixer.stats()["index_size_bytes"]))
+    record(
+        "fig12", f"QPS at recall@{K}={TARGET} vs history size ({NAME})",
+        ["index", "n-history", "QPS", "index-bytes"],
+        rows,
+        notes="paper Fig.12: NGFix* matches RoarGraph with a fraction of its history",
+    )
+
+    full = qps_by_fraction[1.0]
+    assert full is not None
+    # More history never hurts much (monotone-ish improvement).
+    assert full >= 0.9 * max(q for q in qps_by_fraction.values() if q)
+    # A fraction of the history already matches the baselines.
+    if roar_qps:
+        smallest_matching = min(
+            (f for f, q in qps_by_fraction.items() if q and q >= 0.9 * roar_qps),
+            default=None)
+        assert smallest_matching is not None and smallest_matching <= 0.5, (
+            "NGFix* should match RoarGraph with at most half its history")
+    if hnsw_qps:
+        assert full >= 0.95 * hnsw_qps
+    benchmark(search_op(get_fixed(NAME), NAME))

@@ -1,0 +1,70 @@
+"""Fig. 15 — contribution of RFix on top of NGFix.
+
+Paper: NGFix* (= NGFix + RFix) improves over NGFix alone by ~18% at
+recall 0.95 on MainSearch, where many searches fail to reach the query
+vicinity; on LAION the phase-1 failure rate is tiny and the gain is
+correspondingly small.
+"""
+
+import pytest
+
+from repro.core import FixConfig, NGFixer
+from repro.core.analysis import phase_reach_stats
+from repro.evalx import ndc_at_recall, qps_at_recall
+
+from workbench import (
+    FIX_PARAMS,
+    K,
+    get_dataset,
+    get_gt,
+    get_hnsw,
+    record,
+    search_op,
+    sweep_index,
+)
+
+NAMES = ("mainsearch-sim", "laion-sim")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fig15_rfix_contribution(benchmark, name):
+    ds = get_dataset(name)
+    target = 0.95
+
+    arms = {}
+    for rfix, label in ((True, "NGFix*"), (False, "NGFix")):
+        params = dict(FIX_PARAMS)
+        params["rfix"] = rfix
+        fixer = NGFixer(get_hnsw(name).clone(), FixConfig(**params))
+        fixer.fit(ds.train_queries)
+        arms[label] = fixer
+
+    base_reach = phase_reach_stats(get_hnsw(name), ds.test_queries,
+                                   get_gt(name), k=K,
+                                   ef=K)["reached_vicinity_fraction"]
+    rows = []
+    ndc = {}
+    for label, fixer in arms.items():
+        points = sweep_index(fixer, name)
+        qps = qps_at_recall(points, target)
+        ndc[label] = ndc_at_recall(points, target)
+        rfix_edges = sum(r.rfix_edges for r in fixer.records)
+        rfix_needed = sum(r.rfix_needed for r in fixer.records)
+        rows.append((label, round(qps, 1) if qps else None,
+                     round(ndc[label], 1) if ndc[label] else None,
+                     rfix_needed, rfix_edges))
+    record(
+        f"fig15_{name}",
+        f"NGFix vs NGFix* ({name}; base phase-1 success {base_reach:.3f})",
+        ["variant", f"QPS@{target}", f"NDC@{target}", "queries needing RFix",
+         "RFix edges"],
+        rows,
+        notes="paper Fig.15: RFix helps most where phase-1 failures are "
+              "common; at this scale failures are rare (see phase-1 rate), "
+              "so the gain is small as in the paper's LAION case",
+    )
+    # RFix never hurts the work-at-recall budget (NDC is the stable axis;
+    # QPS jitters between in-process arms).
+    if ndc["NGFix*"] and ndc["NGFix"]:
+        assert ndc["NGFix*"] <= 1.05 * ndc["NGFix"], "RFix must not hurt"
+    benchmark(search_op(arms["NGFix*"], name))

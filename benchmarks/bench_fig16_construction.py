@@ -1,0 +1,90 @@
+"""Fig. 16 — index construction cost and index size.
+
+Paper: with exact-NN preprocessing HNSW-NGFix* costs about as much to build
+as RoarGraph (both pay for exact per-query ground truth); with
+approximate-NN preprocessing — which RoarGraph structurally cannot use,
+since it has no complete graph to search during construction — NGFix*
+builds 2.35-9.02x faster.
+
+Scale note: at a 2 000-point corpus the exact ground truth is one cheap
+matrix product, so *wall time* no longer reflects the asymptotics that
+dominate at 10M points.  The scale-independent quantity is the number of
+distance computations (NDC) spent on preprocessing: exact costs
+``|Q| * n`` per round, approximate costs only the graph-search work.  Wall
+time is reported, the NDC ratio is asserted.
+"""
+
+from repro import HNSW, NSG, RoarGraph
+from repro.core import FixConfig, NGFixer
+
+from workbench import (
+    FIX_PARAMS,
+    HNSW_PARAMS,
+    NSG_PARAMS,
+    ROAR_PARAMS,
+    get_dataset,
+    record,
+    search_op,
+    timed,
+)
+
+NAME = "text2image-sim"
+
+
+def test_fig16_construction_cost_and_size(benchmark):
+    ds = get_dataset(NAME)
+    n_train = len(ds.train_queries)
+    rows = []
+
+    t_hnsw, hnsw = timed(lambda: HNSW(ds.base, ds.metric, **HNSW_PARAMS))
+    rows.append(("HNSW", round(t_hnsw, 3), 0,
+                 hnsw.stats()["index_size_bytes"]))
+
+    t_nsg, nsg = timed(lambda: NSG(ds.base, ds.metric, **NSG_PARAMS))
+    rows.append(("NSG", round(t_nsg, 3), 0, nsg.stats()["index_size_bytes"]))
+
+    t_roar, roar = timed(lambda: RoarGraph(ds.base, ds.metric,
+                                           ds.train_queries, **ROAR_PARAMS))
+    roar_gt_ndc = n_train * ds.n  # exact bipartite ground truth, mandatory
+    rows.append(("RoarGraph", round(t_roar, 3), roar_gt_ndc,
+                 roar.stats()["index_size_bytes"]))
+
+    ndc = {}
+    sizes = {}
+    for mode, label in (("exact", "HNSW-NGFix* (exact NN)"),
+                        ("approx", "HNSW-NGFix* (approx NN)")):
+        params = dict(FIX_PARAMS)
+        params["preprocess"] = mode
+
+        def build():
+            fixer = NGFixer(hnsw.clone(), FixConfig(**params))
+            fixer.fit(ds.train_queries)
+            return fixer
+        t_fix, fixer = timed(build)
+        ndc[mode] = fixer.preprocess_ndc
+        sizes[mode] = fixer.stats()["index_size_bytes"]
+        rows.append((label, round(t_hnsw + t_fix, 3), fixer.preprocess_ndc,
+                     sizes[mode]))
+
+    record(
+        "fig16", f"construction cost and index size ({NAME})",
+        ["index", "build seconds", "preprocess NDC", "index bytes"],
+        rows,
+        notes="paper Fig.16 (NDC is the scale-free cost; see module "
+              "docstring): approx-NN preprocessing removes the exact-GT "
+              "cost RoarGraph cannot avoid; EH tags make NGFix* slightly "
+              "larger per extra edge",
+    )
+
+    # Approximate preprocessing saves most of the exact-GT distance work...
+    assert ndc["approx"] < 0.6 * ndc["exact"]
+    # ...which RoarGraph must always pay.
+    assert ndc["approx"] < roar_gt_ndc
+    # Index size: bottom-layer NGFix* stays comparable to HNSW.
+    assert sizes["exact"] < 1.3 * hnsw.stats()["index_size_bytes"]
+
+    benchmark.pedantic(
+        lambda: NGFixer(hnsw.clone(),
+                        FixConfig(**dict(FIX_PARAMS, preprocess="approx"))
+                        ).fit(ds.train_queries[:20]),
+        rounds=3, iterations=1)

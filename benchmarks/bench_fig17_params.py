@@ -1,0 +1,97 @@
+"""Fig. 17 — sensitivity to NGFix* parameters.
+
+Paper sweeps: the per-node extra-degree limit (larger = better index but
+bigger), the number of NNs k covered per query (two rounds with a large and
+a small k beat either alone for mixed retrieval sizes), and the EH threshold
+(ε; values near K_max suffice because few edges exceed it).
+"""
+
+from repro.core import FixConfig, NGFixer
+from repro.evalx import ndc_at_recall, qps_at_recall
+
+from workbench import (
+    FIX_PARAMS,
+    K,
+    get_dataset,
+    get_hnsw,
+    record,
+    search_op,
+    sweep_index,
+)
+
+NAME = "laion-sim"
+TARGET = 0.95
+
+
+def _fit(**overrides):
+    params = dict(FIX_PARAMS)
+    params.update(overrides)
+    fixer = NGFixer(get_hnsw(NAME).clone(), FixConfig(**params))
+    fixer.fit(get_dataset(NAME).train_queries)
+    return fixer
+
+
+def test_fig17_extra_degree_budget(benchmark):
+    rows = []
+    by_budget = {}
+    for budget in (2, 4, 8, 16):
+        fixer = _fit(max_extra_degree=budget)
+        qps = qps_at_recall(sweep_index(fixer, NAME), TARGET)
+        by_budget[budget] = qps
+        rows.append((budget, round(qps, 1) if qps else None,
+                     fixer.adjacency.n_extra_edges(),
+                     round(fixer.adjacency.average_out_degree(), 2)))
+    record("fig17_degree", f"extra-degree budget sweep ({NAME}, recall {TARGET})",
+           ["budget", "QPS", "extra edges", "avg out-degree"], rows,
+           notes="paper Fig.17: smaller budget = smaller index, some QPS loss")
+    # Index size grows monotonically with the budget.
+    edges = [r[2] for r in rows]
+    assert edges == sorted(edges)
+    # A generous budget is no worse than a starved one.
+    if by_budget[16] and by_budget[2]:
+        assert by_budget[16] >= 0.9 * by_budget[2]
+    benchmark(search_op(_fit(max_extra_degree=8), NAME))
+
+
+def test_fig17_round_schedule(benchmark):
+    """Two rounds (large k then small k) vs one round of either."""
+    rows = []
+    results = {}
+    for rounds, label in (((K,), f"k={K}"),
+                          ((2 * K,), f"k={2*K}"),
+                          ((2 * K, K), f"k={2*K} then k={K}")):
+        fixer = _fit(rounds=rounds)
+        points = sweep_index(fixer, NAME)
+        qps = qps_at_recall(points, TARGET)
+        results[label] = qps
+        rows.append((label, round(qps, 1) if qps else None,
+                     fixer.adjacency.n_extra_edges()))
+    record("fig17_rounds", f"fixing-round schedules ({NAME}, recall {TARGET})",
+           ["schedule", "QPS", "extra edges"], rows,
+           notes="paper Sec 6.6: two rounds (large then small k) is a good default")
+    two_round = results[f"k={2*K} then k={K}"]
+    assert two_round is not None
+    assert two_round >= 0.85 * max(v for v in results.values() if v)
+    benchmark(search_op(_fit(rounds=(K,)), NAME))
+
+
+def test_fig17_eh_threshold(benchmark):
+    """ε (eh_threshold) sweep: near-K_max thresholds suffice."""
+    k_max = FixConfig(**FIX_PARAMS).k_max()
+    rows = []
+    results = {}
+    for eps in (K, int(1.5 * K), k_max):
+        fixer = _fit(eh_threshold=float(eps))
+        qps = qps_at_recall(sweep_index(fixer, NAME), TARGET)
+        results[eps] = qps
+        rows.append((eps, round(qps, 1) if qps else None,
+                     fixer.adjacency.n_extra_edges()))
+    record("fig17_threshold", f"EH threshold (epsilon) sweep ({NAME})",
+           ["epsilon", "QPS", "extra edges"], rows,
+           notes="paper Sec 6.6: epsilon near K_max is adequate; smaller "
+                 "epsilon adds more edges")
+    # Tighter thresholds demand more fixing edges.
+    edges = [r[2] for r in rows]
+    assert edges[0] >= edges[-1]
+    assert results[k_max] is not None
+    benchmark(search_op(_fit(eh_threshold=float(k_max)), NAME))

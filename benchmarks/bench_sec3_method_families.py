@@ -1,0 +1,49 @@
+"""Sec. 3 — method families: graph vs coarse quantization vs brute force.
+
+Paper: "Graph-based methods achieve the best time-accuracy trade-off across
+various scenarios."  Measured here across families on one OOD workload:
+HNSW-NGFix* (graph), IVF-Flat (coarse quantization), and brute force
+(exact), on the work-at-recall axis.
+"""
+
+from repro import BruteForceIndex, IVFFlat
+from repro.evalx import evaluate_index, ndc_at_recall, sweep
+
+from workbench import EFS, K, get_dataset, get_fixed, get_gt, record, search_op
+
+NAME = "laion-sim"
+TARGET = 0.95
+
+
+def test_sec3_method_families(benchmark):
+    ds = get_dataset(NAME)
+    gt = get_gt(NAME)
+    rows = []
+
+    fixer = get_fixed(NAME)
+    graph_ndc = ndc_at_recall(sweep(fixer, ds.test_queries, gt, K, EFS), TARGET)
+    rows.append(("graph (HNSW-NGFix*)", round(graph_ndc, 1) if graph_ndc else None))
+
+    ivf = IVFFlat(ds.base, ds.metric, n_lists=32, seed=0)
+    ivf_points = sweep(ivf, ds.test_queries, gt, K,
+                       [K * p for p in (1, 2, 4, 8, 16, 32)])
+    ivf_ndc = ndc_at_recall(ivf_points, TARGET)
+    rows.append(("coarse quantization (IVF-Flat, 32 lists)",
+                 round(ivf_ndc, 1) if ivf_ndc else None))
+
+    brute = BruteForceIndex(ds.base, ds.metric)
+    brute_point = evaluate_index(brute, ds.test_queries, gt, K, K)
+    rows.append(("brute force (exact)", round(brute_point.ndc_per_query, 1)))
+
+    record(
+        "sec3_families", f"method families, NDC at recall@{K}={TARGET} ({NAME})",
+        ["family", "NDC/query"],
+        rows,
+        notes="paper Sec.3: graphs give the best time-accuracy trade-off; "
+              "IVF must probe many cells on OOD queries whose NNs scatter",
+    )
+    assert graph_ndc is not None
+    if ivf_ndc is not None:
+        assert graph_ndc < ivf_ndc, "graph must beat IVF at high recall"
+    assert graph_ndc < brute_point.ndc_per_query
+    benchmark(search_op(fixer, NAME))

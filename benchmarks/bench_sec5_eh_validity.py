@@ -1,0 +1,37 @@
+"""Sec. 5.2 — validity of Escape Hardness as a query-hardness measure.
+
+Paper claim: "Escape Hardness is highly correlated with the actual query
+accuracy", and unlike single-score measures (Steiner-hardness et al.) it is
+fine-grained enough to *guide construction*.  This bench quantifies the
+first half: rank-correlation of per-query recall with four hardness
+measures — query-to-base distance, ε-crowding, measured search effort
+(a Steiner-hardness-style estimate), and EH.
+"""
+
+from repro.core.hardness_baselines import hardness_correlations
+
+from workbench import K, get_dataset, get_gt, get_hnsw, record, search_op
+
+NAME = "laion-sim"
+
+
+def test_sec5_eh_validity(benchmark):
+    ds = get_dataset(NAME)
+    index = get_hnsw(NAME)
+    corr = hardness_correlations(index, ds.base, ds.test_queries,
+                                 get_gt(NAME, 3 * K), k=K, ef=int(1.5 * K))
+    rows = [(name, round(value, 3)) for name, value in
+            sorted(corr.items(), key=lambda kv: kv[1])]
+    record(
+        "sec5_eh_validity",
+        f"rank correlation of hardness measures with recall@{K} ({NAME})",
+        ["measure", "rank-corr with recall"],
+        rows,
+        notes="paper Sec 5.2: EH tracks actual accuracy; more negative = "
+              "better hardness measure",
+    )
+    assert corr["escape_hardness"] < -0.4
+    # EH is at least as predictive as the naive proxies.
+    assert corr["escape_hardness"] <= corr["distance"] + 0.05
+    assert corr["escape_hardness"] <= corr["epsilon"] + 0.05
+    benchmark(search_op(index, NAME))

@@ -1,0 +1,66 @@
+"""Sec. 7 / Appendix D — NN-set containment between nearby queries.
+
+The paper's proposed guarantee extension rests on an empirical fact: if a
+test query q' lies within delta of a historical query q, then q's top-cK
+neighbor set contains most of q''s top-k set — so fixing q's neighborhood
+with K_max = cK also serves q'.  The paper measures (WebVid): with c = 2,
+containment holds for delta up to ~0.03; with c = 3, up to ~0.114.
+
+Reproduced: sample perturbed copies of historical queries at increasing
+delta and measure mean containment |N_k(q') ∩ N_cK(q)| / k for several c.
+"""
+
+import numpy as np
+
+from repro.core.ngfix_plus import perturb_within_ball
+from repro.evalx import compute_ground_truth
+
+from workbench import K, get_dataset, get_gt, record, search_op, get_hnsw
+
+NAME = "webvid-sim"
+CS = (1, 2, 3)
+DELTAS = (0.02, 0.05, 0.1, 0.2, 0.4)
+N_QUERIES = 40
+PER_DELTA = 5
+
+
+def test_sec7_nn_set_containment(benchmark):
+    ds = get_dataset(NAME)
+    base_queries = ds.train_queries[:N_QUERIES]
+    gt_wide = compute_ground_truth(ds.base, base_queries, max(CS) * K,
+                                   ds.metric)
+    rows = []
+    table = {}
+    for delta in DELTAS:
+        perturbed = perturb_within_ball(base_queries, delta, PER_DELTA, seed=1)
+        perturbed /= np.maximum(
+            np.linalg.norm(perturbed, axis=1, keepdims=True), 1e-12)
+        gt_p = compute_ground_truth(ds.base, perturbed, K, ds.metric)
+        row = [delta]
+        for c in CS:
+            containments = []
+            for i in range(perturbed.shape[0]):
+                owner = i // PER_DELTA
+                wide = set(gt_wide.ids[owner][: c * K].tolist())
+                near = set(gt_p.ids[i].tolist())
+                containments.append(len(near & wide) / K)
+            value = float(np.mean(containments))
+            table[(delta, c)] = value
+            row.append(round(value, 3))
+        rows.append(tuple(row))
+    record(
+        "sec7_containment",
+        f"mean |N_k(q') ∩ N_cK(q)| / k for perturbation radius delta ({NAME})",
+        ["delta", *[f"c={c}" for c in CS]],
+        rows,
+        notes="paper Sec.7/App.D: larger c tolerates larger delta; "
+              "containment decays with distance",
+    )
+    # Shape: containment decays with delta and grows with c.
+    for c in CS:
+        assert table[(DELTAS[0], c)] >= table[(DELTAS[-1], c)]
+    for delta in DELTAS:
+        assert table[(delta, 3)] >= table[(delta, 1)] - 1e-9
+    # Small perturbations are essentially covered at c = 3.
+    assert table[(DELTAS[0], 3)] > 0.9
+    benchmark(search_op(get_hnsw(NAME), NAME))

@@ -1,0 +1,10 @@
+"""Setup shim so legacy editable installs work offline (no wheel package).
+
+All project metadata lives in pyproject.toml; install with
+``pip install -e . --no-use-pep517 --no-build-isolation`` in offline
+environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,238 @@
+"""Command-line interface: build, fix, evaluate, and analyze indexes.
+
+Usage (also via ``python -m repro.cli``)::
+
+    python -m repro.cli datasets
+    python -m repro.cli build --dataset laion-sim --index hnsw --out /tmp/g.npz
+    python -m repro.cli fix --dataset laion-sim --out /tmp/fixed.npz
+    python -m repro.cli evaluate --dataset laion-sim --index-file /tmp/fixed.npz
+    python -m repro.cli analyze --dataset laion-sim
+
+Every command accepts ``--scale`` to shrink the synthetic corpora and
+``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="laion-sim",
+                        help="registry dataset name (see `datasets`)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="corpus scale multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--k", type=int, default=10,
+                        help="neighbors per query")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NGFix/RFix ANNS reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registry datasets with statistics")
+
+    p_build = sub.add_parser("build", help="build a baseline index")
+    _add_common(p_build)
+    p_build.add_argument("--index", default="hnsw",
+                         choices=["hnsw", "nsg", "roargraph", "vamana",
+                                  "robust-vamana", "tau-mng"])
+    p_build.add_argument("--out", help="save the built index to this .npz")
+
+    p_fix = sub.add_parser("fix", help="build HNSW and run NGFix* on history")
+    _add_common(p_fix)
+    p_fix.add_argument("--preprocess", default="approx",
+                       choices=["approx", "exact"])
+    p_fix.add_argument("--max-extra-degree", type=int, default=12)
+    p_fix.add_argument("--out", help="save the fixed index to this .npz")
+
+    p_eval = sub.add_parser("evaluate", help="sweep ef and print the curve")
+    _add_common(p_eval)
+    p_eval.add_argument("--index-file", help="load a saved .npz index; "
+                        "otherwise a fresh HNSW-NGFix* is built")
+    p_eval.add_argument("--efs", type=int, nargs="*",
+                        default=[10, 20, 40, 80, 160])
+
+    p_an = sub.add_parser("analyze", help="hardness diagnostics for a dataset")
+    _add_common(p_an)
+
+    p_ex = sub.add_parser("explain", help="diagnose one test query in depth")
+    _add_common(p_ex)
+    p_ex.add_argument("--query-index", type=int, default=0,
+                      help="which test query to explain")
+    p_ex.add_argument("--fixed", action="store_true",
+                      help="diagnose against the NGFix*-fixed graph instead "
+                           "of plain HNSW")
+    return parser
+
+
+def _load_dataset(args):
+    from repro import load_dataset
+    return load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+
+
+def _build_index(args, ds):
+    from repro import HNSW, NSG, RoarGraph, TauMNG
+    from repro.graphs.vamana import RobustVamana, Vamana
+    if args.index == "hnsw":
+        return HNSW(ds.base, ds.metric, M=12, ef_construction=60,
+                    single_layer=True, seed=args.seed)
+    if args.index == "nsg":
+        return NSG(ds.base, ds.metric, R=24, L=60)
+    if args.index == "roargraph":
+        return RoarGraph(ds.base, ds.metric, ds.train_queries, M=24,
+                         n_query_neighbors=32)
+    if args.index == "vamana":
+        return Vamana(ds.base, ds.metric, R=24, L=60, seed=args.seed)
+    if args.index == "robust-vamana":
+        return RobustVamana(ds.base, ds.metric, ds.train_queries, R=24, L=60,
+                            seed=args.seed)
+    return TauMNG(ds.base, ds.metric, R=24, L=60, tau=0.01)
+
+
+def _cmd_datasets(args) -> int:
+    from repro import dataset_statistics
+    from repro.evalx import format_table
+    rows = [(s.name, s.n_base, s.n_train, s.n_test, s.dim, s.metric,
+             s.modality) for s in dataset_statistics(scale=0.25)]
+    print(format_table(
+        ["name", "base", "train", "test", "dim", "metric", "modality"],
+        rows, title="registry datasets (shown at scale=0.25)"))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.io import save_index
+    ds = _load_dataset(args)
+    index = _build_index(args, ds)
+    stats = index.stats()
+    print(f"built {args.index} over {ds.n} vectors: "
+          f"{stats['n_base_edges']} edges, "
+          f"avg degree {stats['avg_out_degree']:.1f}")
+    if args.out:
+        path = save_index(index, args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_fix(args) -> int:
+    from repro import HNSW, FixConfig, NGFixer
+    from repro.io import save_index
+    ds = _load_dataset(args)
+    base = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
+                single_layer=True, seed=args.seed)
+    fixer = NGFixer(base, FixConfig(
+        k=args.k, preprocess=args.preprocess,
+        max_extra_degree=args.max_extra_degree))
+    fixer.fit(ds.train_queries)
+    stats = fixer.stats()
+    print(f"fixed {stats['queries_fixed']} historical queries: "
+          f"+{stats['n_extra_edges']} extra edges in "
+          f"{stats['preprocess_seconds'] + stats['fix_seconds']:.2f}s")
+    if args.out:
+        path = save_index(fixer, args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro import HNSW, FixConfig, NGFixer, compute_ground_truth, sweep
+    from repro.evalx import format_table
+    from repro.io import load_index
+    ds = _load_dataset(args)
+    if args.index_file:
+        index = load_index(args.index_file)
+        label = args.index_file
+    else:
+        base = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
+                    single_layer=True, seed=args.seed)
+        index = NGFixer(base, FixConfig(k=args.k, preprocess="approx"))
+        index.fit(ds.train_queries)
+        label = "HNSW-NGFix* (freshly built)"
+    gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric)
+    points = sweep(index, ds.test_queries, gt, args.k,
+                   [max(ef, args.k) for ef in args.efs])
+    rows = [(p.ef, round(p.recall, 4), round(p.rderr, 6), round(p.qps, 1),
+             round(p.ndc_per_query, 1)) for p in points]
+    print(format_table(["ef", "recall", "rderr", "QPS", "NDC/query"], rows,
+                       title=f"{label} on {ds.name} (recall@{args.k})"))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro import HNSW, compute_ground_truth
+    from repro.core.analysis import phase_reach_stats
+    from repro.core.visualize import render_qng
+    from repro.evalx.metrics import recall_per_query
+    ds = _load_dataset(args)
+    index = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
+                 single_layer=True, seed=args.seed)
+    gt = compute_ground_truth(ds.base, ds.test_queries, 3 * args.k, ds.metric)
+    stats = phase_reach_stats(index, ds.test_queries, gt, k=args.k,
+                              ef=2 * args.k)
+    print(f"{ds.name}: phase-1 success "
+          f"{stats['reached_vicinity_fraction']:.3f}, "
+          f"mean recall@{args.k} {stats['mean_recall']:.3f}")
+    for bucket, fraction in stats["histogram"].items():
+        print(f"  recall {bucket}: {fraction:.2f}")
+    hard = int(np.argmin(stats["recalls"]))
+    print(f"\nhardest query #{hard} "
+          f"(recall {stats['recalls'][hard]:.2f}) — QNG layout:")
+    print(render_qng(index, gt, hard, args.k))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro import HNSW, FixConfig, NGFixer, explain_query
+    ds = _load_dataset(args)
+    index = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
+                 single_layer=True, seed=args.seed)
+    if args.fixed:
+        fixer = NGFixer(index, FixConfig(k=args.k, preprocess="approx"))
+        fixer.fit(ds.train_queries)
+        index = fixer
+    if not 0 <= args.query_index < len(ds.test_queries):
+        raise SystemExit(f"--query-index out of range "
+                         f"[0, {len(ds.test_queries)})")
+    report = explain_query(index, ds.test_queries[args.query_index], k=args.k)
+    print(f"query #{args.query_index} on {ds.name} "
+          f"({'fixed' if args.fixed else 'plain'} graph)")
+    print(f"  verdict         : {report['verdict']}")
+    print(f"  recommended ef  : {report['recommended_ef']}")
+    qng = report["qng"]
+    print(f"  QNG             : {qng['n_edges']} edges, "
+          f"{qng['avg_reachable_fraction']:.2f} reachable fraction, "
+          f"{qng['isolated_points']} isolated")
+    eh = report["escape_hardness"]
+    print(f"  escape hardness : {eh['unreachable_pairs']} unreachable pairs, "
+          f"score {eh['hardness_score']:.2f}, max finite {eh['max_finite_eh']:.0f}")
+    p1 = report["phase1"]
+    print(f"  phase 1         : reaches vicinity = {p1['reaches_vicinity']} "
+          f"(anchor {p1['anchor_distance']:.4f} vs k-th NN "
+          f"{p1['kth_nn_distance']:.4f})")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "build": _cmd_build,
+    "fix": _cmd_fix,
+    "evaluate": _cmd_evaluate,
+    "analyze": _cmd_analyze,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

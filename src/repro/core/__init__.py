@@ -1,0 +1,91 @@
+"""The paper's contribution: Escape Hardness, NGFix, RFix, and extensions.
+
+Layered as the paper presents it:
+
+- :mod:`qng` — the k-Neighboring Graph around a query and its connectivity
+  statistics (Sec. 4 analysis, Figs. 3-4).
+- :mod:`escape_hardness` — the EH metric and its incremental computation
+  (Sec. 5.2, Algorithm 2).
+- :mod:`ngfix` — Neighboring Graph Defects Fixing (Sec. 5.3, Algorithm 3),
+  plus the ablation fixers (reconstruct-RNG, random connect) of Fig. 13(c).
+- :mod:`rfix` — Reachability Fixing (Sec. 5.4, Algorithm 4).
+- :mod:`fixer` — the NGFix* orchestrator combining both over a historical
+  query stream, with exact or approximate preprocessing.
+- :mod:`maintenance` — insert/delete maintenance (Sec. 5.5).
+- :mod:`augment`, :mod:`ngfix_plus`, :mod:`hash_cache`, :mod:`adaptive` —
+  the Section 7 extensions.
+- :mod:`analysis` — two-phase search diagnostics backing Fig. 2.
+"""
+
+from repro.core.qng import (
+    build_qng,
+    qng_edge_count,
+    average_reachable,
+    qng_connectivity_report,
+)
+from repro.core.escape_hardness import (
+    EscapeHardnessResult,
+    escape_hardness,
+    escape_hardness_bruteforce,
+    reachability_matrix,
+)
+from repro.core.ngfix import ngfix_query, rng_overlay_fix, random_connect_fix
+from repro.core.rfix import rfix_query
+from repro.core.fixer import FixConfig, NGFixer
+from repro.core.maintenance import IndexMaintainer
+from repro.core.augment import augment_queries
+from repro.core.ngfix_plus import ngfix_plus_query
+from repro.core.hash_cache import HashTableCache, CachedSearcher
+from repro.core.adaptive import AdaptiveSearcher
+from repro.core.analysis import (
+    phase_reach_stats,
+    recall_histogram,
+    discovery_edge_stats,
+)
+from repro.core.hardness_baselines import (
+    distance_hardness,
+    epsilon_hardness,
+    effort_hardness,
+    eh_hardness,
+    hardness_correlations,
+)
+from repro.core.visualize import classical_mds, qng_layout, ascii_scatter, render_qng
+from repro.core.workload_adapter import WorkloadAdapter
+from repro.core.explain import explain_query
+
+__all__ = [
+    "build_qng",
+    "qng_edge_count",
+    "average_reachable",
+    "qng_connectivity_report",
+    "EscapeHardnessResult",
+    "escape_hardness",
+    "escape_hardness_bruteforce",
+    "reachability_matrix",
+    "ngfix_query",
+    "rng_overlay_fix",
+    "random_connect_fix",
+    "rfix_query",
+    "FixConfig",
+    "NGFixer",
+    "IndexMaintainer",
+    "augment_queries",
+    "ngfix_plus_query",
+    "HashTableCache",
+    "CachedSearcher",
+    "AdaptiveSearcher",
+    "phase_reach_stats",
+    "recall_histogram",
+    "discovery_edge_stats",
+    "distance_hardness",
+    "epsilon_hardness",
+    "effort_hardness",
+    "eh_hardness",
+    "hardness_correlations",
+    "classical_mds",
+    "qng_layout",
+    "ascii_scatter",
+    "render_qng",
+    "WorkloadAdapter",
+    "explain_query",
+]

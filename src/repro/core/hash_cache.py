@@ -1,0 +1,84 @@
+"""Hash-table answer cache for exactly repeated queries (Sec. 7).
+
+When test queries overlap historical ones, hashing the query bytes and
+returning the stored ground truth short-circuits graph search (the paper
+measures ~9% of graph-search latency on MainSearch).  The cache cannot
+generalize to unseen queries and costs memory per stored answer — both
+trade-offs the paper calls out — so :class:`CachedSearcher` composes it with
+a graph index: hit → cached answer, miss → ANNS.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.graphs.search import SearchResult
+
+
+def _query_key(query: np.ndarray, algorithm: str) -> bytes:
+    digest = hashlib.new(algorithm)
+    digest.update(np.ascontiguousarray(query, dtype=np.float32).tobytes())
+    return digest.digest()
+
+
+class HashTableCache:
+    """Exact-match query -> top-k answer store keyed by a byte-level hash."""
+
+    def __init__(self, algorithm: str = "md5"):
+        if algorithm not in hashlib.algorithms_available:
+            raise ValueError(f"unknown hash algorithm {algorithm!r}")
+        self.algorithm = algorithm
+        self._store: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def put(self, query: np.ndarray, ids: np.ndarray, distances: np.ndarray) -> None:
+        """Store a query's answer (overwrites a prior entry)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        distances = np.asarray(distances, dtype=np.float64)
+        if ids.shape != distances.shape:
+            raise ValueError("ids and distances must align")
+        self._store[_query_key(query, self.algorithm)] = (ids, distances)
+
+    def get(self, query: np.ndarray, k: int) -> SearchResult | None:
+        """Cached answer if present *and* covering k results, else None."""
+        entry = self._store.get(_query_key(query, self.algorithm))
+        if entry is None or entry[0].shape[0] < k:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SearchResult(ids=entry[0][:k].copy(), distances=entry[1][:k].copy())
+
+    def memory_bytes(self) -> int:
+        """Approximate store footprint (keys + int64 ids + float64 dists)."""
+        digest_len = hashlib.new(self.algorithm).digest_size
+        return sum(digest_len + ids.nbytes + d.nbytes
+                   for ids, d in self._store.values())
+
+
+class CachedSearcher:
+    """Hash-table cache in front of any index (hit → stored ground truth)."""
+
+    def __init__(self, index, cache: HashTableCache | None = None):
+        self.index = index
+        self.cache = cache or HashTableCache()
+
+    @property
+    def dc(self):
+        return self.index.dc
+
+    def warm(self, queries: np.ndarray, ids: np.ndarray, distances: np.ndarray) -> None:
+        """Preload answers (e.g. historical queries with their ground truth)."""
+        for i, query in enumerate(np.atleast_2d(queries)):
+            self.cache.put(query, ids[i], distances[i])
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
+        hit = self.cache.get(query, k)
+        if hit is not None:
+            return hit
+        return self.index.search(query, k=k, ef=ef)

@@ -1,0 +1,69 @@
+"""NGFix+ — extending the guarantee to a ball around each query (Sec. 7).
+
+NGFix certifies historical queries themselves.  The paper's proposed
+extension aims at every test query within distance delta of a historical
+query: enumerate perturbed copies q' with ||q' - q|| <= delta and apply
+NGFix to each.  The paper's prototype randomly samples 100 perturbations per
+query and observes better accuracy at ~19x the fixing cost; this module
+reproduces that trade-off at configurable sample counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.escape_hardness import escape_hardness
+from repro.core.fixer import NGFixer
+from repro.core.ngfix import ngfix_query
+from repro.evalx.ground_truth import compute_ground_truth
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_matrix, check_positive
+
+
+def perturb_within_ball(queries: np.ndarray, delta: float, n_samples: int,
+                        seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Uniform samples from the delta-ball around each query.
+
+    Output shape ``(n * n_samples, d)``; directions are uniform on the
+    sphere, radii follow the r^(d-1) density so samples fill the ball.
+    """
+    queries = check_matrix(queries, "queries")
+    check_positive(delta, "delta")
+    check_positive(n_samples, "n_samples")
+    rng = ensure_rng(seed)
+    n, d = queries.shape
+    directions = rng.standard_normal((n * n_samples, d)).astype(np.float32)
+    directions /= np.maximum(np.linalg.norm(directions, axis=1, keepdims=True), 1e-12)
+    radii = delta * rng.random(n * n_samples, dtype=np.float32) ** (1.0 / d)
+    return np.repeat(queries, n_samples, axis=0) + radii[:, None] * directions
+
+
+def ngfix_plus_query(
+    fixer: NGFixer,
+    query: np.ndarray,
+    delta: float,
+    n_samples: int = 20,
+    seed: int | np.random.Generator | None = 0,
+) -> int:
+    """Apply NGFix to random perturbations of one historical query.
+
+    Returns the number of extra edges added across all perturbations.  Uses
+    exact preprocessing per perturbation (matching the paper's prototype,
+    and the source of its ~19x cost over plain NGFix).
+    """
+    query = np.asarray(query, dtype=np.float32)
+    perturbed = perturb_within_ball(query[None, :], delta, n_samples, seed)
+    config = fixer.config
+    K_max = config.k_max()
+    gt = compute_ground_truth(fixer.dc.data, perturbed, K_max, fixer.dc.metric)
+    added = 0
+    for i in range(perturbed.shape[0]):
+        eh = escape_hardness(fixer.adjacency.neighbors, gt.ids[i], config.k)
+        outcome = ngfix_query(
+            fixer.adjacency, fixer.dc, eh,
+            eh_threshold=config.eh_threshold,
+            max_extra_degree=config.max_extra_degree,
+            evict_strategy=config.evict_strategy,
+        )
+        added += len(outcome.edges_added)
+    return added

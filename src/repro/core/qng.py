@@ -1,0 +1,95 @@
+"""The k-Neighboring Graph (QNG) of a query — Definition 1 of the paper.
+
+``QNG_k(q)`` is the subgraph a graph index induces on the query's top-k
+nearest base points.  The paper's Section 4 analysis ties search accuracy to
+this subgraph's connectivity (Theorem 2: reachability inside QNG_k bounds the
+search list size needed to visit a point), and Figure 4 measures it by the
+average number of points reachable from a random start inside the QNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+def build_qng(neighbors_fn, nn_ids: np.ndarray) -> list[list[int]]:
+    """Induce the neighborhood subgraph on ``nn_ids``.
+
+    Parameters
+    ----------
+    neighbors_fn:
+        ``global_id -> np.ndarray`` of out-neighbors in the full index.
+    nn_ids:
+        The query's nearest neighbors, ascending by distance; defines the
+        local rank order.
+
+    Returns the local adjacency: ``out[i]`` lists local ranks ``j`` with a
+    graph edge from the (i+1)-th NN to the (j+1)-th NN.
+    """
+    nn_ids = np.asarray(nn_ids, dtype=np.int64)
+    local = {int(g): r for r, g in enumerate(nn_ids)}
+    if len(local) != len(nn_ids):
+        raise ValueError("nn_ids contains duplicates")
+    out: list[list[int]] = []
+    for g in nn_ids:
+        row = []
+        for v in neighbors_fn(int(g)):
+            r = local.get(int(v))
+            if r is not None:
+                row.append(r)
+        out.append(row)
+    return out
+
+
+def qng_edge_count(local_adj: list[list[int]]) -> int:
+    """Number of directed edges inside the QNG."""
+    return sum(len(row) for row in local_adj)
+
+
+def _reach_count(local_adj: list[list[int]], start: int) -> int:
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in local_adj[u]:
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return len(seen)
+
+
+def average_reachable(local_adj: list[list[int]]) -> float:
+    """Mean number of QNG points reachable from each start (Fig. 4 metric).
+
+    The paper samples random starts; with the tiny subgraphs involved the
+    exact average over all starts is cheap and noise-free.
+    """
+    n = len(local_adj)
+    if n == 0:
+        raise ValueError("empty QNG")
+    return sum(_reach_count(local_adj, s) for s in range(n)) / n
+
+
+def isolated_points(local_adj: list[list[int]]) -> int:
+    """Count QNG nodes with neither in- nor out-edges (Fig. 3 visual)."""
+    n = len(local_adj)
+    has_edge = [bool(row) for row in local_adj]
+    for row in local_adj:
+        for v in row:
+            has_edge[v] = True
+    return sum(1 for flag in has_edge if not flag)
+
+
+def qng_connectivity_report(neighbors_fn, nn_ids: np.ndarray) -> dict:
+    """Connectivity summary of one query's QNG."""
+    adj = build_qng(neighbors_fn, nn_ids)
+    n = len(adj)
+    return {
+        "k": n,
+        "n_edges": qng_edge_count(adj),
+        "avg_reachable": average_reachable(adj),
+        "reachable_fraction": average_reachable(adj) / n,
+        "isolated_points": isolated_points(adj),
+    }

@@ -1,0 +1,94 @@
+"""QNG visualization via classical multidimensional scaling (paper Fig. 3).
+
+The paper projects a query's neighborhood to 2-D with MDS (Torgerson 1952)
+to show that low-recall queries have fragmented, isolated-point QNGs.  This
+module implements classical MDS from scratch (double-centering + top
+eigenvectors) plus a dependency-free ASCII renderer so the figure can be
+reproduced in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qng import build_qng
+from repro.distances import pairwise_distances
+from repro.evalx.ground_truth import GroundTruth
+
+
+def classical_mds(sq_distances: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Torgerson's classical MDS on a squared-distance matrix.
+
+    Double-centers ``-D/2`` into a Gram matrix and embeds with its top
+    eigenvectors.  Negative eigenvalues (non-Euclidean inputs) are clamped.
+    """
+    d = np.asarray(sq_distances, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"expected square distance matrix, got {d.shape}")
+    n = d.shape[0]
+    if n_components < 1:
+        raise ValueError(f"n_components must be >= 1, got {n_components}")
+    centering = np.eye(n) - np.full((n, n), 1.0 / n)
+    gram = -0.5 * centering @ d @ centering
+    eigvals, eigvecs = np.linalg.eigh(gram)
+    order = np.argsort(eigvals)[::-1][:n_components]
+    scales = np.sqrt(np.maximum(eigvals[order], 0.0))
+    return eigvecs[:, order] * scales
+
+
+def qng_layout(index, nn_ids: np.ndarray) -> dict:
+    """2-D MDS layout of a query's QNG plus its edge list.
+
+    Returns ``{"coords": (k, 2), "edges": [(i, j), ...]}`` in local ranks.
+    For COSINE/IP metrics the comparison distances are shifted to be
+    non-negative before MDS (MDS needs dissimilarities).
+    """
+    nn_ids = np.asarray(nn_ids, dtype=np.int64)
+    vectors = index.dc.data[nn_ids]
+    d = pairwise_distances(vectors, vectors, index.metric)
+    d = d - d.min()
+    np.fill_diagonal(d, 0.0)
+    coords = classical_mds(d, 2)
+    local = build_qng(index.adjacency.neighbors, nn_ids)
+    edges = [(u, v) for u, row in enumerate(local) for v in row]
+    return {"coords": coords, "edges": edges}
+
+
+def ascii_scatter(coords: np.ndarray, edges=None, width: int = 48,
+                  height: int = 18, labels: str = "0123456789") -> str:
+    """Render 2-D points (and optionally edges) as an ASCII grid.
+
+    Points are drawn as their rank digit (wrapping through ``labels``);
+    edge paths are drawn with ``.`` by linear interpolation.  Intended for
+    terminal demos and doctests, not publication plots.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coords, got {coords.shape}")
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+
+    def cell(point):
+        x = int((point[0] - lo[0]) / span[0] * (width - 1))
+        y = int((point[1] - lo[1]) / span[1] * (height - 1))
+        return y, x
+
+    grid = [[" "] * width for _ in range(height)]
+    for u, v in edges or []:
+        a, b = coords[u], coords[v]
+        for t in np.linspace(0, 1, 2 * max(width, height)):
+            y, x = cell(a + t * (b - a))
+            if grid[y][x] == " ":
+                grid[y][x] = "."
+    for i, point in enumerate(coords):
+        y, x = cell(point)
+        grid[y][x] = labels[i % len(labels)]
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_qng(index, gt: GroundTruth, query_index: int, k: int,
+               width: int = 48, height: int = 18) -> str:
+    """One-call Fig.-3-style ASCII rendering of a query's QNG."""
+    layout = qng_layout(index, gt.ids[query_index][:k])
+    return ascii_scatter(layout["coords"], layout["edges"], width, height)

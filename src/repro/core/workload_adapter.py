@@ -1,0 +1,108 @@
+"""Online adaptation to workload drift (paper Sec. 7, "Selection strategy
+for historical queries").
+
+Under a stable workload NGFix* self-regulates: easy queries add no edges,
+hard ones add many, so feeding every query is fine.  Under *drift* the
+per-node extra-degree budgets fill with edges serving the old workload, and
+new queries cannot claim capacity.  The paper's remedy, implemented here:
+
+- keep fixing incoming queries online;
+- **periodically delete a random subset of existing extra edges** (e.g.
+  20%) to free budget, then **prioritize the newest queries** (by arrival
+  order) when re-fixing.
+
+:class:`WorkloadAdapter` wraps an :class:`~repro.core.fixer.NGFixer` and
+applies this policy over an arriving query stream.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.core.fixer import NGFixer
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+class WorkloadAdapter:
+    """Streaming policy: fix-as-you-serve with periodic edge refresh.
+
+    Parameters
+    ----------
+    fixer:
+        The NGFix* index to adapt (fixed in place).
+    refresh_interval:
+        After this many observed queries, run a refresh cycle.
+    refresh_drop_fraction:
+        Fraction of extra edges randomly dropped at each refresh (frees
+        degree budget for the new workload).
+    window:
+        How many of the most recent queries are replayed after a refresh
+        (newest-first priority).
+    fix_every:
+        Only every ``fix_every``-th observed query is fixed online (sampling
+        keeps serving latency bounded; 1 = fix everything).
+    """
+
+    def __init__(
+        self,
+        fixer: NGFixer,
+        refresh_interval: int = 200,
+        refresh_drop_fraction: float = 0.2,
+        window: int = 100,
+        fix_every: int = 1,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        check_positive(refresh_interval, "refresh_interval")
+        check_fraction(refresh_drop_fraction, "refresh_drop_fraction")
+        check_positive(window, "window")
+        check_positive(fix_every, "fix_every")
+        self.fixer = fixer
+        self.refresh_interval = refresh_interval
+        self.refresh_drop_fraction = refresh_drop_fraction
+        self.window = window
+        self.fix_every = fix_every
+        self._rng = ensure_rng(seed)
+        self._recent: collections.deque[np.ndarray] = collections.deque(maxlen=window)
+        self.observed = 0
+        self.refreshes = 0
+
+    def observe(self, query: np.ndarray) -> None:
+        """Register one served query; fix it (sampled) and maybe refresh."""
+        query = np.asarray(query, dtype=np.float32)
+        self._recent.append(query)
+        self.observed += 1
+        if self.observed % self.fix_every == 0:
+            self.fixer.fix_query(query)
+        if self.observed % self.refresh_interval == 0:
+            self.refresh()
+
+    def observe_batch(self, queries: np.ndarray) -> None:
+        """Observe a batch in arrival order."""
+        for query in np.atleast_2d(np.asarray(queries, dtype=np.float32)):
+            self.observe(query)
+
+    def refresh(self) -> dict:
+        """One refresh cycle: drop stale extra edges, replay newest queries.
+
+        Returns a report of the dropped edge count and replayed queries.
+        """
+        dropped = self.fixer.adjacency.drop_extra_fraction(
+            self.refresh_drop_fraction, self._rng)
+        replayed = 0
+        # Newest first: they get first claim on the freed degree budget.
+        for query in reversed(self._recent):
+            self.fixer.fix_query(query)
+            replayed += 1
+        self.refreshes += 1
+        return {"dropped_extra_edges": dropped, "replayed": replayed}
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None):
+        """Serve a query (search only; call :meth:`observe` to also adapt)."""
+        return self.fixer.search(query, k=k, ef=ef)
+
+    @property
+    def dc(self):
+        return self.fixer.dc

@@ -1,0 +1,44 @@
+"""Synthetic datasets reproducing the paper's workload *shapes*.
+
+The paper evaluates on four cross-modal datasets (Text-to-Image, LAION,
+WebVid, MainSearch) and two single-modal ones (SIFT, DEEP), all proprietary
+or too large for a pure-Python substrate.  This package generates scaled-down
+synthetic equivalents with the property that matters to the paper: cross-modal
+queries are *Out-of-Distribution* — displaced from the base manifold along a
+modality-gap direction — so that graphs built from the base distribution have
+poorly connected neighborhoods around query points.
+
+Use :func:`load_dataset` with a registry name (see :func:`list_datasets`), or
+call the generators in :mod:`repro.datasets.crossmodal` /
+:mod:`repro.datasets.synthetic` directly for custom workloads.
+"""
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import make_clustered_data, make_single_modal_dataset
+from repro.datasets.crossmodal import make_cross_modal_dataset, CrossModalConfig
+from repro.datasets.distribution import (
+    mahalanobis_to_distribution,
+    sliced_wasserstein,
+    ood_report,
+)
+from repro.datasets.registry import load_dataset, list_datasets, dataset_statistics
+from repro.datasets.workload import DriftingWorkload, make_drifting_workload
+from repro.datasets.vecs_io import read_vecs, write_vecs
+
+__all__ = [
+    "Dataset",
+    "make_clustered_data",
+    "make_single_modal_dataset",
+    "make_cross_modal_dataset",
+    "CrossModalConfig",
+    "mahalanobis_to_distribution",
+    "sliced_wasserstein",
+    "ood_report",
+    "load_dataset",
+    "list_datasets",
+    "dataset_statistics",
+    "DriftingWorkload",
+    "make_drifting_workload",
+    "read_vecs",
+    "write_vecs",
+]

@@ -1,0 +1,75 @@
+"""The Dataset container shared by examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.distances import Metric
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A base corpus plus historical (train) and held-out (test) queries.
+
+    Mirrors the paper's Table 1 layout: each dataset has base vectors, a
+    historical query set used to *fix* the graph, and disjoint test queries
+    used only for evaluation.  ``id_queries`` optionally carries in-distribution
+    queries for the Fig. 10 experiment (ID queries on cross-modal data).
+    """
+
+    name: str
+    base: np.ndarray
+    train_queries: np.ndarray
+    test_queries: np.ndarray
+    metric: Metric
+    modality: str = "synthetic"
+    id_queries: np.ndarray | None = None
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        self.metric = Metric.parse(self.metric)
+        for field in ("base", "train_queries", "test_queries"):
+            arr = np.ascontiguousarray(getattr(self, field), dtype=np.float32)
+            if arr.ndim != 2:
+                raise ValueError(f"{field} must be 2-D, got shape {arr.shape}")
+            setattr(self, field, arr)
+        dims = {self.base.shape[1], self.train_queries.shape[1], self.test_queries.shape[1]}
+        if len(dims) != 1:
+            raise ValueError(f"dimension mismatch across base/train/test: {dims}")
+        if self.id_queries is not None:
+            self.id_queries = np.ascontiguousarray(self.id_queries, dtype=np.float32)
+            if self.id_queries.shape[1] != self.base.shape[1]:
+                raise ValueError("id_queries dimension differs from base")
+
+    @property
+    def n(self) -> int:
+        """Number of base vectors."""
+        return self.base.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.base.shape[1]
+
+    def subset(self, n_base: int | None = None, n_train: int | None = None,
+               n_test: int | None = None) -> "Dataset":
+        """A prefix-sliced copy, for quickly shrinking workloads in tests."""
+        return Dataset(
+            name=self.name,
+            base=self.base[: n_base or self.n],
+            train_queries=self.train_queries[: n_train or len(self.train_queries)],
+            test_queries=self.test_queries[: n_test or len(self.test_queries)],
+            metric=self.metric,
+            modality=self.modality,
+            id_queries=self.id_queries,
+            extra=dict(self.extra),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n={self.n}, dim={self.dim}, "
+            f"train={len(self.train_queries)}, test={len(self.test_queries)}, "
+            f"metric={self.metric.value}, modality={self.modality!r})"
+        )

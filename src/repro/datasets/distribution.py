@@ -1,0 +1,97 @@
+"""Distribution-gap measurements used to characterize OOD queries.
+
+Section 2 of the paper: the Wasserstein distance measures the gap between the
+query and base *distributions*, and the Mahalanobis distance measures how far
+an individual vector sits from a distribution.  These are reproduced here so
+the synthetic datasets' OOD-ness can be quantified the same way (and asserted
+in tests: cross-modal queries must score far higher than held-out base
+points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_matrix
+
+
+def mahalanobis_to_distribution(
+    points: np.ndarray,
+    reference: np.ndarray,
+    ridge: float = 1e-3,
+) -> np.ndarray:
+    """Mahalanobis distance of each row of ``points`` to ``reference``'s fit.
+
+    The reference distribution is summarized by its sample mean and (ridge-
+    regularized) covariance; the ridge keeps the inverse stable when the
+    reference has fewer rows than dimensions.
+    """
+    points = check_matrix(points, "points")
+    reference = check_matrix(reference, "reference")
+    mean = reference.mean(axis=0)
+    cov = np.cov(reference, rowvar=False).astype(np.float64)
+    cov[np.diag_indices_from(cov)] += ridge
+    inv = np.linalg.inv(cov)
+    centered = points.astype(np.float64) - mean
+    sq = np.einsum("ij,jk,ik->i", centered, inv, centered)
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def sliced_wasserstein(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_projections: int = 64,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """Sliced Wasserstein-1 distance between two empirical distributions.
+
+    High-dimensional Wasserstein is approximated by averaging the 1-D
+    Wasserstein distance over random unit projections — the standard sliced
+    estimator, adequate for comparing gap magnitudes between workloads.
+    """
+    a = check_matrix(a, "a")
+    b = check_matrix(b, "b")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+    rng = ensure_rng(seed)
+    directions = rng.standard_normal((n_projections, a.shape[1]))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    total = 0.0
+    for direction in directions:
+        total += stats.wasserstein_distance(a @ direction, b @ direction)
+    return total / n_projections
+
+
+def ood_report(queries: np.ndarray, base: np.ndarray,
+               seed: int | np.random.Generator | None = 0) -> dict:
+    """Summary of how OOD ``queries`` are relative to ``base``.
+
+    Returns the sliced Wasserstein distance query-vs-base, a same-distribution
+    control (base split in half), and mean Mahalanobis scores for queries vs a
+    held-out base half.  ``is_ood`` applies the paper's qualitative criterion:
+    the query distribution is far from base relative to base-internal spread.
+    """
+    rng = ensure_rng(seed)
+    base = check_matrix(base, "base")
+    half = base.shape[0] // 2
+    perm = rng.permutation(base.shape[0])
+    base_a, base_b = base[perm[:half]], base[perm[half:]]
+    w_query = sliced_wasserstein(queries, base, seed=rng)
+    w_control = sliced_wasserstein(base_a, base_b, seed=rng)
+    m_query = float(np.mean(mahalanobis_to_distribution(queries, base_a)))
+    m_control = float(np.mean(mahalanobis_to_distribution(base_b, base_a)))
+    return {
+        "wasserstein_query_vs_base": w_query,
+        "wasserstein_base_control": w_control,
+        "mahalanobis_query_mean": m_query,
+        "mahalanobis_base_mean": m_control,
+        # OOD criterion: the query distribution sits far from base relative to
+        # base-internal spread.  Sliced Wasserstein is the primary signal
+        # (same-distribution query sets land near 1x the control even with
+        # perturbation noise; modality-gap sets land at 5-7x).  Mahalanobis is
+        # a weak secondary check because clustered sphere data already gives
+        # held-out base points large scores.
+        "is_ood": bool(w_query > 4.0 * w_control and m_query > 1.02 * m_control),
+    }

@@ -1,0 +1,140 @@
+"""Named dataset registry mirroring the paper's Table 1 (scaled down).
+
+Each entry maps a registry name to a generator reproducing one paper
+dataset's *workload character* (metric, modality, OOD-ness, drift), at a size
+a pure-Python substrate can index in seconds.  See DESIGN.md for the
+substitution rationale; :func:`dataset_statistics` regenerates the Table 1
+rows for the scaled datasets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.datasets.crossmodal import CrossModalConfig, make_cross_modal_dataset
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import make_single_modal_dataset
+from repro.distances import Metric
+
+
+def _text2image(seed: int, scale: float) -> Dataset:
+    # Paper: Text-to-Image10M, 200-d, inner product, text->image.
+    config = CrossModalConfig(
+        n_base=int(4000 * scale), n_train=int(1000 * scale), n_test=int(200 * scale),
+        dim=32, n_clusters=16, cluster_std=0.15, gap_scale=0.9,
+        query_spread=0.45, n_facets=2,
+        metric=Metric.INNER_PRODUCT, n_id_queries=int(200 * scale), seed=seed,
+    )
+    return make_cross_modal_dataset("text2image-sim", config)
+
+
+def _laion(seed: int, scale: float) -> Dataset:
+    # Paper: LAION10M, 512-d CLIP, cosine, text->image.
+    config = CrossModalConfig(
+        n_base=int(4000 * scale), n_train=int(1000 * scale), n_test=int(200 * scale),
+        dim=48, n_clusters=20, cluster_std=0.12, gap_scale=1.0,
+        query_spread=0.4, n_facets=3,
+        metric=Metric.COSINE, n_id_queries=int(200 * scale), seed=seed + 1,
+    )
+    return make_cross_modal_dataset("laion-sim", config)
+
+
+def _webvid(seed: int, scale: float) -> Dataset:
+    # Paper: WebVid2.5M, 512-d CLIP, cosine, text->video (smaller corpus).
+    config = CrossModalConfig(
+        n_base=int(2500 * scale), n_train=int(600 * scale), n_test=int(150 * scale),
+        dim=48, n_clusters=12, cluster_std=0.15, gap_scale=0.85,
+        query_spread=0.4, n_facets=2,
+        metric=Metric.COSINE, seed=seed + 2,
+    )
+    return make_cross_modal_dataset("webvid-sim", config)
+
+
+def _mainsearch(seed: int, scale: float) -> Dataset:
+    # Paper: MainSearch (e-commerce), 256-d, inner product, limited history,
+    # ~10% of newer queries drift away from the older workload.
+    config = CrossModalConfig(
+        n_base=int(4000 * scale), n_train=int(400 * scale), n_test=int(300 * scale),
+        dim=32, n_clusters=24, cluster_std=0.12, gap_scale=1.1,
+        query_spread=0.55, n_facets=3,
+        metric=Metric.INNER_PRODUCT, drift_fraction=0.1, drift_gap_scale=0.8,
+        seed=seed + 3,
+    )
+    return make_cross_modal_dataset("mainsearch-sim", config)
+
+
+def _sift(seed: int, scale: float) -> Dataset:
+    # Paper: SIFT10M, 128-d, Euclidean, single-modal.
+    return make_single_modal_dataset(
+        "sift-sim", n=int(4000 * scale), dim=32, n_train=int(400 * scale),
+        n_test=int(200 * scale), metric=Metric.L2, n_clusters=24,
+        cluster_std=0.3, query_noise=0.1, hard_fraction=0.1, seed=seed + 4,
+    )
+
+
+def _deep(seed: int, scale: float) -> Dataset:
+    # Paper: DEEP10M, 96-d GoogLeNet features, cosine, single-modal.
+    return make_single_modal_dataset(
+        "deep-sim", n=int(4000 * scale), dim=24, n_train=int(400 * scale),
+        n_test=int(200 * scale), metric=Metric.COSINE, n_clusters=20,
+        cluster_std=0.25, query_noise=0.08, hard_fraction=0.1, seed=seed + 5,
+    )
+
+
+_REGISTRY: dict[str, Callable[[int, float], Dataset]] = {
+    "text2image-sim": _text2image,
+    "laion-sim": _laion,
+    "webvid-sim": _webvid,
+    "mainsearch-sim": _mainsearch,
+    "sift-sim": _sift,
+    "deep-sim": _deep,
+}
+
+CROSS_MODAL_NAMES = ("text2image-sim", "laion-sim", "webvid-sim", "mainsearch-sim")
+SINGLE_MODAL_NAMES = ("sift-sim", "deep-sim")
+
+
+def list_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Generate the named dataset.
+
+    ``scale`` multiplies all corpus/query counts (e.g. ``scale=0.25`` for a
+    quick test-sized variant); ``seed`` re-rolls the generation randomness.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return _REGISTRY[name](seed, scale)
+
+
+@dataclasses.dataclass
+class DatasetStats:
+    """One Table 1 row."""
+
+    name: str
+    n_base: int
+    n_test: int
+    n_train: int
+    dim: int
+    metric: str
+    modality: str
+
+
+def dataset_statistics(names: list[str] | None = None, seed: int = 0,
+                       scale: float = 1.0) -> list[DatasetStats]:
+    """Regenerate Table 1 ("statistics of the datasets") for the registry."""
+    rows = []
+    for name in names or list_datasets():
+        ds = load_dataset(name, seed=seed, scale=scale)
+        rows.append(DatasetStats(
+            name=ds.name, n_base=ds.n, n_test=len(ds.test_queries),
+            n_train=len(ds.train_queries), dim=ds.dim,
+            metric=ds.metric.value, modality=ds.modality,
+        ))
+    return rows

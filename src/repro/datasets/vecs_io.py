@@ -1,0 +1,75 @@
+"""Readers/writers for the standard ANN benchmark vector formats.
+
+SIFT/DEEP/Text-to-Image and the other corpora the paper evaluates ship as
+``.fvecs`` / ``.ivecs`` / ``.bvecs`` files: each vector is stored as a
+little-endian int32 dimension header followed by that many float32 / int32 /
+uint8 components.  These loaders let the library run on the real datasets
+when they are available, while the synthetic registry covers offline use.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+_COMPONENT = {
+    ".fvecs": (np.float32, 4),
+    ".ivecs": (np.int32, 4),
+    ".bvecs": (np.uint8, 1),
+}
+
+
+def _spec_for(path: pathlib.Path):
+    try:
+        return _COMPONENT[path.suffix]
+    except KeyError:
+        raise ValueError(
+            f"unknown vector-file suffix {path.suffix!r}; expected one of "
+            f"{sorted(_COMPONENT)}") from None
+
+
+def read_vecs(path: str | pathlib.Path, max_vectors: int | None = None) -> np.ndarray:
+    """Read an .fvecs/.ivecs/.bvecs file into an (n, d) array.
+
+    ``max_vectors`` truncates the read (useful for sampling huge corpora).
+    """
+    path = pathlib.Path(path)
+    dtype, item_size = _spec_for(path)
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        raise ValueError(f"{path} is empty")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid dimension header {dim}")
+    record = 4 + dim * item_size
+    if raw.size % record != 0:
+        raise ValueError(f"{path}: size {raw.size} not a multiple of the "
+                         f"record size {record} (dim={dim})")
+    n = raw.size // record
+    if max_vectors is not None:
+        n = min(n, max_vectors)
+    body = raw[: n * record].reshape(n, record)[:, 4:]
+    out = np.frombuffer(body.tobytes(), dtype=dtype).reshape(n, dim)
+    # Validate consistent per-record headers on a sample.
+    headers = raw[: n * record].reshape(n, record)[:, :4]
+    dims = np.frombuffer(headers.tobytes(), dtype="<i4")
+    if not (dims == dim).all():
+        raise ValueError(f"{path}: inconsistent dimension headers")
+    return np.ascontiguousarray(out)
+
+
+def write_vecs(path: str | pathlib.Path, vectors: np.ndarray) -> pathlib.Path:
+    """Write vectors in the format implied by the path suffix."""
+    path = pathlib.Path(path)
+    dtype, _ = _spec_for(path)
+    vectors = np.ascontiguousarray(vectors, dtype=dtype)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise ValueError(f"expected non-empty 2-D array, got {vectors.shape}")
+    n, dim = vectors.shape
+    header = np.full((n, 1), dim, dtype="<i4")
+    with open(path, "wb") as handle:
+        for i in range(n):
+            handle.write(header[i].tobytes())
+            handle.write(vectors[i].tobytes())
+    return path

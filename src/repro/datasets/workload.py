@@ -1,0 +1,85 @@
+"""Drifting query workloads (paper Sec. 1 & 7).
+
+The paper motivates online fixing with production workload drift: comparing
+two periods of its e-commerce traffic, ~10% of newer queries sit far from
+the older query distribution.  This module generates multi-phase query
+streams over one base corpus: each phase samples cross-modal queries whose
+modality-gap direction rotates progressively away from phase 0, so indexes
+fixed on early history degrade on later phases unless they adapt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.datasets.crossmodal import CrossModalConfig, _gap_queries
+from repro.datasets.synthetic import make_clustered_data
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass
+class DriftingWorkload:
+    """A base corpus plus an ordered sequence of query phases.
+
+    ``phases[t]`` holds phase t's queries; drift grows with t.  The paper's
+    scenario corresponds to fixing on ``phases[0]`` and then serving later
+    phases.
+    """
+
+    base: np.ndarray
+    phases: list[np.ndarray]
+    metric: str
+    gap_angles: list[float]
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    def stream(self) -> np.ndarray:
+        """All phases concatenated in arrival order."""
+        return np.vstack(self.phases)
+
+
+def make_drifting_workload(
+    config: CrossModalConfig,
+    n_phases: int = 3,
+    queries_per_phase: int = 100,
+    drift_per_phase: float = 0.5,
+) -> DriftingWorkload:
+    """Build a workload whose gap direction rotates ``drift_per_phase``
+    radians toward an orthogonal direction each phase.
+
+    Phase 0 uses the configured gap; later phases interpolate between the
+    original gap and a random orthogonal one, renormalized to the same
+    magnitude — so OOD-ness stays constant while the *region* the queries
+    occupy moves.
+    """
+    check_positive(n_phases, "n_phases")
+    check_positive(queries_per_phase, "queries_per_phase")
+    rng = ensure_rng(config.seed)
+    base = make_clustered_data(config.n_base, config.dim, config.n_clusters,
+                               config.cluster_std, rng, normalize=True)
+    centers = rng.standard_normal((config.n_clusters, config.dim)).astype(np.float32)
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    centers = base[np.argmax(centers @ base.T, axis=1)]
+
+    gap = rng.standard_normal(config.dim).astype(np.float32)
+    gap *= config.gap_scale / np.linalg.norm(gap)
+    # Orthogonal drift direction with the same magnitude.
+    ortho = rng.standard_normal(config.dim).astype(np.float32)
+    ortho -= (ortho @ gap) / (gap @ gap) * gap
+    ortho *= config.gap_scale / np.linalg.norm(ortho)
+
+    phases = []
+    angles = []
+    for t in range(n_phases):
+        angle = min(t * drift_per_phase, np.pi / 2)
+        phase_gap = np.cos(angle) * gap + np.sin(angle) * ortho
+        phases.append(_gap_queries(centers, queries_per_phase, phase_gap,
+                                   config.query_spread, config.n_facets, rng))
+        angles.append(float(angle))
+    return DriftingWorkload(base=base, phases=phases,
+                            metric=config.metric.value, gap_angles=angles)

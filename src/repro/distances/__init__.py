@@ -1,0 +1,29 @@
+"""Distance kernels and NDC-counting distance computers.
+
+All indexes in this library express similarity as a *distance* where smaller
+means closer, regardless of the underlying metric:
+
+- ``Metric.L2``            -> squared Euclidean distance
+- ``Metric.INNER_PRODUCT`` -> negated inner product
+- ``Metric.COSINE``        -> 1 - cosine similarity
+
+The paper reports efficiency both as QPS and as the Number of Distance
+Calculations (NDC); :class:`DistanceComputer` counts every vector-to-vector
+distance it evaluates so NDC can be reported exactly.
+"""
+
+from repro.distances.metrics import (
+    Metric,
+    pairwise_distances,
+    distances_to_query,
+    normalize_rows,
+)
+from repro.distances.computer import DistanceComputer
+
+__all__ = [
+    "Metric",
+    "pairwise_distances",
+    "distances_to_query",
+    "normalize_rows",
+    "DistanceComputer",
+]

@@ -1,0 +1,97 @@
+"""Metric definitions and vectorized distance kernels.
+
+Distances are comparison-oriented: each metric maps to a value where smaller
+means closer, which is the only property graph traversal needs.  For L2 the
+squared distance is used (monotone in the true distance, cheaper); callers
+that need the true Euclidean value (e.g. relative-distance-error reporting)
+can take the square root.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Metric(enum.Enum):
+    """Supported vector similarity metrics (see Table 1 of the paper)."""
+
+    L2 = "l2"
+    INNER_PRODUCT = "ip"
+    COSINE = "cosine"
+
+    @classmethod
+    def parse(cls, value: "Metric | str") -> "Metric":
+        """Accept either a ``Metric`` or its string value ("l2", "ip", "cosine")."""
+        if isinstance(value, Metric):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown metric {value!r}; expected one of: {valid}") from None
+
+
+def normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize each row of ``x`` (used to reduce cosine to dot product)."""
+    x = np.asarray(x, dtype=np.float32)
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norms, eps)
+
+
+def distances_to_query(data: np.ndarray, query: np.ndarray, metric: Metric) -> np.ndarray:
+    """Distances from every row of ``data`` to ``query`` (1-D result).
+
+    ``data`` rows for COSINE are assumed *already normalized*; ``query`` is
+    normalized here.  This matches how :class:`~repro.distances.DistanceComputer`
+    stores its matrix.
+    """
+    metric = Metric.parse(metric)
+    if metric is Metric.L2:
+        diff = data - query
+        return np.einsum("ij,ij->i", diff, diff)
+    if metric is Metric.INNER_PRODUCT:
+        return -(data @ query)
+    # COSINE: rows pre-normalized, normalize only the query.
+    qn = np.linalg.norm(query)
+    q = query / qn if qn > 1e-12 else query
+    return 1.0 - data @ q
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray, metric: Metric) -> np.ndarray:
+    """Full (len(a), len(b)) distance matrix.
+
+    Unlike :func:`distances_to_query` this function normalizes both sides for
+    COSINE, so it is safe on raw (un-normalized) inputs.  Used for brute-force
+    ground truth and dataset statistics.
+    """
+    metric = Metric.parse(metric)
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if metric is Metric.L2:
+        aa = np.einsum("ij,ij->i", a, a)[:, None]
+        bb = np.einsum("ij,ij->i", b, b)[None, :]
+        d = aa + bb - 2.0 * (a @ b.T)
+        np.maximum(d, 0.0, out=d)
+        return d
+    if metric is Metric.INNER_PRODUCT:
+        return -(a @ b.T)
+    return 1.0 - normalize_rows(a) @ normalize_rows(b).T
+
+
+def distance_point(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:
+    """Distance between two single vectors (normalizing both for COSINE)."""
+    metric = Metric.parse(metric)
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if metric is Metric.L2:
+        diff = a - b
+        return float(diff @ diff)
+    if metric is Metric.INNER_PRODUCT:
+        return float(-(a @ b))
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na < 1e-12 or nb < 1e-12:
+        return 1.0
+    return float(1.0 - (a @ b) / (na * nb))

@@ -1,0 +1,44 @@
+"""Evaluation substrate: ground truth, accuracy metrics, and sweep harness.
+
+Named ``evalx`` (not ``eval``) to avoid shadowing the Python builtin.
+
+Provides the paper's four evaluation quantities: recall@k and rderr@k for
+accuracy, QPS and NDC (number of distance calculations) for efficiency, plus
+the ef-sweep machinery that produces the recall–QPS / rderr–NDC curves in
+every figure of Section 6.
+"""
+
+from repro.evalx.ground_truth import GroundTruth, compute_ground_truth
+from repro.evalx.metrics import recall_at_k, rderr_at_k, recall_per_query
+from repro.evalx.runner import (
+    OperatingPoint,
+    evaluate_index,
+    sweep,
+    qps_at_recall,
+    ndc_at_rderr,
+    ndc_at_recall,
+    ef_for_recall,
+)
+from repro.evalx.reporting import format_table
+from repro.evalx.significance import bootstrap_ci, paired_bootstrap_diff
+from repro.evalx.tuning import TuningResult, tune_fix_config
+
+__all__ = [
+    "GroundTruth",
+    "compute_ground_truth",
+    "recall_at_k",
+    "rderr_at_k",
+    "recall_per_query",
+    "OperatingPoint",
+    "evaluate_index",
+    "sweep",
+    "qps_at_recall",
+    "ndc_at_rderr",
+    "ndc_at_recall",
+    "ef_for_recall",
+    "format_table",
+    "bootstrap_ci",
+    "paired_bootstrap_diff",
+    "TuningResult",
+    "tune_fix_config",
+]

@@ -1,0 +1,60 @@
+"""Accuracy metrics: recall@k and relative distance error (Sec. 2).
+
+For a query q:
+
+- ``recall@k``  = |found ∩ exact top-k| / k
+- ``rderr@k``   = mean over ranks i of (d(found_i, q) - d(nn_i, q)) / d(nn_i, q)
+
+rderr uses the library's comparison distances.  For inner-product metrics the
+paper's definition divides by the exact distance; distances can be negative
+there, so the denominator uses |d| with a floor to stay well-defined — the
+*ordering* of rderr values across indexes (which is what the NDC–rderr curves
+compare) is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DENOM_FLOOR = 1e-9
+
+
+def recall_per_query(found_ids: np.ndarray, gt_ids: np.ndarray) -> np.ndarray:
+    """recall@k for each query; shapes ``(nq, >=k)`` found vs ``(nq, k)`` exact."""
+    found_ids = np.asarray(found_ids)
+    gt_ids = np.asarray(gt_ids)
+    if found_ids.ndim != 2 or gt_ids.ndim != 2:
+        raise ValueError("found_ids and gt_ids must be 2-D (one row per query)")
+    if found_ids.shape[0] != gt_ids.shape[0]:
+        raise ValueError("query count mismatch between found and ground truth")
+    k = gt_ids.shape[1]
+    out = np.empty(gt_ids.shape[0], dtype=np.float64)
+    for i in range(gt_ids.shape[0]):
+        out[i] = len(set(found_ids[i, :k].tolist()) & set(gt_ids[i].tolist())) / k
+    return out
+
+
+def recall_at_k(found_ids: np.ndarray, gt_ids: np.ndarray) -> float:
+    """Mean recall@k over all queries."""
+    return float(recall_per_query(found_ids, gt_ids).mean())
+
+
+def rderr_per_query(found_distances: np.ndarray, gt_distances: np.ndarray) -> np.ndarray:
+    """rderr@k for each query from aligned found/exact distance rows."""
+    found = np.asarray(found_distances, dtype=np.float64)
+    exact = np.asarray(gt_distances, dtype=np.float64)
+    if found.shape[0] != exact.shape[0]:
+        raise ValueError("query count mismatch between found and ground truth")
+    k = exact.shape[1]
+    if found.shape[1] < k:
+        raise ValueError(f"found distances provide {found.shape[1]} < k={k} columns")
+    found = np.sort(found[:, :k], axis=1)
+    exact = np.sort(exact, axis=1)
+    denom = np.maximum(np.abs(exact), _DENOM_FLOOR)
+    err = (found - exact) / denom
+    return np.maximum(err, 0.0).mean(axis=1)
+
+
+def rderr_at_k(found_distances: np.ndarray, gt_distances: np.ndarray) -> float:
+    """Mean rderr@k over all queries."""
+    return float(rderr_per_query(found_distances, gt_distances).mean())

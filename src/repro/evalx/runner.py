@@ -1,0 +1,157 @@
+"""Sweep harness producing the paper's recall–QPS and rderr–NDC curves.
+
+An index under evaluation must provide ``search(query, k, ef)`` returning an
+object with ``ids``/``distances`` arrays, and expose its
+:class:`~repro.distances.DistanceComputer` as ``dc`` so distance calculations
+can be counted (all indexes in :mod:`repro.graphs` satisfy this).
+
+The paper's protocol (Sec. 6.1) is followed: sweep the search list size ef
+upward from k, record (recall, rderr, QPS, NDC) at each setting, then read
+off QPS at fixed recall / NDC at fixed rderr by interpolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.evalx.ground_truth import GroundTruth
+from repro.evalx.metrics import recall_per_query, rderr_per_query
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass
+class OperatingPoint:
+    """One point on an index's trade-off curve (one ef setting)."""
+
+    ef: int
+    recall: float
+    rderr: float
+    qps: float
+    ndc_per_query: float
+    elapsed_s: float
+
+
+def evaluate_index(
+    index,
+    queries: np.ndarray,
+    gt: GroundTruth,
+    k: int,
+    ef: int,
+) -> OperatingPoint:
+    """Run every query at one ef setting and aggregate metrics."""
+    check_positive(k, "k")
+    if ef < k:
+        raise ValueError(f"ef={ef} must be >= k={k}")
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.shape[0] != gt.n_queries:
+        raise ValueError("query count differs from ground truth")
+    gt_k = gt.top(k)
+
+    found_ids = np.empty((queries.shape[0], k), dtype=np.int64)
+    found_d = np.empty((queries.shape[0], k), dtype=np.float64)
+    index.dc.reset_ndc()
+    start = time.perf_counter()
+    for i, query in enumerate(queries):
+        result = index.search(query, k=k, ef=ef)
+        m = min(k, len(result.ids))
+        found_ids[i, :m] = result.ids[:m]
+        found_d[i, :m] = result.distances[:m]
+        if m < k:  # pad short results with sentinel misses
+            found_ids[i, m:] = -1
+            found_d[i, m:] = np.inf
+    elapsed = time.perf_counter() - start
+    ndc = index.dc.reset_ndc()
+
+    recall = float(recall_per_query(found_ids, gt_k.ids).mean())
+    finite = np.isfinite(found_d).all(axis=1)
+    if finite.any():
+        rderr = float(rderr_per_query(found_d[finite], gt_k.distances[finite]).mean())
+    else:
+        rderr = float("inf")
+    return OperatingPoint(
+        ef=ef,
+        recall=recall,
+        rderr=rderr,
+        qps=queries.shape[0] / max(elapsed, 1e-9),
+        ndc_per_query=ndc / queries.shape[0],
+        elapsed_s=elapsed,
+    )
+
+
+def sweep(
+    index,
+    queries: np.ndarray,
+    gt: GroundTruth,
+    k: int,
+    ef_values: list[int] | None = None,
+    stop_at_recall: float = 0.999,
+) -> list[OperatingPoint]:
+    """Evaluate an increasing ef schedule, stopping once recall saturates.
+
+    Default schedule mirrors the paper: start at ef=k and step upward; we use
+    multiplicative steps to cover the curve with fewer points at small scale.
+    """
+    if ef_values is None:
+        ef_values, ef = [], k
+        while ef <= 64 * k:
+            ef_values.append(ef)
+            ef = max(ef + 10, int(ef * 1.5))
+    points = []
+    for ef in ef_values:
+        point = evaluate_index(index, queries, gt, k, ef)
+        points.append(point)
+        if point.recall >= stop_at_recall:
+            break
+    return points
+
+
+def _interp(points: list[OperatingPoint], x_attr: str, y_attr: str,
+            target: float, increasing: bool) -> float | None:
+    """Linear interpolation of y at x=target along a curve; None if unreached."""
+    pairs = sorted(
+        ((getattr(p, x_attr), getattr(p, y_attr)) for p in points),
+        key=lambda t: t[0],
+    )
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    if increasing:
+        reached = [i for i, x in enumerate(xs) if x >= target]
+    else:
+        reached = [i for i, x in enumerate(xs) if x <= target]
+    if not reached:
+        return None
+    j = reached[0] if increasing else reached[-1]
+    if xs[j] == target or (increasing and j == 0) or (not increasing and j == len(xs) - 1):
+        return ys[j]
+    i = j - 1 if increasing else j + 1
+    x0, x1, y0, y1 = xs[i], xs[j], ys[i], ys[j]
+    if x1 == x0:
+        return y1
+    frac = (target - x0) / (x1 - x0)
+    return y0 + frac * (y1 - y0)
+
+
+def qps_at_recall(points: list[OperatingPoint], target_recall: float) -> float | None:
+    """QPS the curve achieves at the target recall (None if never reached)."""
+    return _interp(points, "recall", "qps", target_recall, increasing=True)
+
+
+def ndc_at_rderr(points: list[OperatingPoint], target_rderr: float) -> float | None:
+    """NDC/query needed to push rderr down to the target (None if never)."""
+    return _interp(points, "rderr", "ndc_per_query", target_rderr, increasing=False)
+
+
+def ndc_at_recall(points: list[OperatingPoint], target_recall: float) -> float | None:
+    """NDC/query needed to reach the target recall (None if never)."""
+    return _interp(points, "recall", "ndc_per_query", target_recall, increasing=True)
+
+
+def ef_for_recall(points: list[OperatingPoint], target_recall: float) -> int | None:
+    """Smallest swept ef whose recall meets the target (None if never)."""
+    for point in sorted(points, key=lambda p: p.ef):
+        if point.recall >= target_recall:
+            return point.ef
+    return None

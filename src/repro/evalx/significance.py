@@ -1,0 +1,59 @@
+"""Bootstrap confidence intervals for recall comparisons.
+
+Small-scale reproductions live and die by noise: a 1-point recall gap over
+150 queries may be luck.  These helpers quantify that — percentile-bootstrap
+CIs for a mean per-query metric, and a paired bootstrap test for the
+difference between two indexes evaluated on the same queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_positive
+
+
+def bootstrap_ci(values: np.ndarray, confidence: float = 0.95,
+                 n_resamples: int = 2000,
+                 seed: int | np.random.Generator | None = 0) -> tuple[float, float, float]:
+    """(mean, lo, hi) percentile-bootstrap CI of the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    check_positive(n_resamples, "n_resamples")
+    rng = ensure_rng(seed)
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    means = values[idx].mean(axis=1)
+    alpha = (1 - confidence) / 2
+    lo, hi = np.quantile(means, [alpha, 1 - alpha])
+    return float(values.mean()), float(lo), float(hi)
+
+
+def paired_bootstrap_diff(
+    a: np.ndarray,
+    b: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int | np.random.Generator | None = 0,
+) -> dict:
+    """Paired bootstrap for mean(a) - mean(b) over the same queries.
+
+    Returns the observed difference, its CI, and ``significant`` (CI
+    excludes zero).  Pairing by query removes the query-difficulty variance
+    that dominates unpaired comparisons.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("a and b must be 1-D arrays of equal length")
+    diffs = a - b
+    mean, lo, hi = bootstrap_ci(diffs, confidence, n_resamples, seed)
+    return {
+        "diff": mean,
+        "ci_low": lo,
+        "ci_high": hi,
+        "significant": bool(lo > 0 or hi < 0),
+    }

@@ -1,0 +1,82 @@
+"""Auto-tuning of NGFix* parameters under an index-size budget.
+
+The paper's Sec. 6.6 guidance condensed into a tool: given a base graph, a
+historical query sample, and a validation query set, grid-search the
+(extra-degree budget, EH threshold, round schedule) space and return the
+configuration that minimizes work-at-recall subject to a cap on extra index
+bytes.  Every candidate clones the base graph, so the input index is never
+mutated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from repro.evalx.ground_truth import GroundTruth
+from repro.evalx.runner import ndc_at_recall, sweep
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass
+class TuningResult:
+    """One evaluated configuration."""
+
+    params: dict
+    ndc_at_target: float | None
+    extra_edges: int
+    extra_bytes: int
+    feasible: bool
+
+
+def tune_fix_config(
+    base_index,
+    train_queries: np.ndarray,
+    valid_queries: np.ndarray,
+    gt: GroundTruth,
+    k: int,
+    target_recall: float = 0.95,
+    max_extra_bytes: int | None = None,
+    degree_grid=(4, 8, 16),
+    threshold_grid=(None,),
+    rounds_grid=None,
+    ef_values=None,
+) -> tuple[dict, list[TuningResult]]:
+    """Grid-search FixConfig knobs; returns (best params, all results).
+
+    "Best" = lowest NDC at the target recall among configurations whose
+    extra-edge footprint fits ``max_extra_bytes`` (unlimited when None).
+    Falls back to the feasible configuration with the highest terminal
+    recall if none reach the target.
+    """
+    from repro.core.fixer import FixConfig, NGFixer  # local: avoid cycle
+
+    check_positive(k, "k")
+    if rounds_grid is None:
+        rounds_grid = ((k,),)
+    results: list[TuningResult] = []
+    for degree, threshold, rounds in itertools.product(
+            degree_grid, threshold_grid, rounds_grid):
+        params = dict(k=k, max_extra_degree=degree, eh_threshold=threshold,
+                      rounds=tuple(rounds), preprocess="approx")
+        fixer = NGFixer(base_index.clone(), FixConfig(**params))
+        fixer.fit(train_queries)
+        extra_edges = fixer.adjacency.n_extra_edges()
+        extra_bytes = 6 * extra_edges  # id + 16-bit EH tag per extra edge
+        feasible = max_extra_bytes is None or extra_bytes <= max_extra_bytes
+        points = sweep(fixer, valid_queries, gt, k, ef_values)
+        ndc = ndc_at_recall(points, target_recall)
+        results.append(TuningResult(
+            params=params, ndc_at_target=ndc, extra_edges=extra_edges,
+            extra_bytes=extra_bytes, feasible=feasible))
+
+    feasible = [r for r in results if r.feasible]
+    pool = feasible or results
+    reaching = [r for r in pool if r.ndc_at_target is not None]
+    if reaching:
+        best = min(reaching, key=lambda r: r.ndc_at_target)
+    else:
+        best = min(pool, key=lambda r: r.extra_bytes)
+    return best.params, results

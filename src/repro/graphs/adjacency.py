@@ -1,0 +1,215 @@
+"""Directed adjacency storage with base/extra edge separation.
+
+The paper represents a fixed graph index as ``G = (V, E_base ∪ E_extra)``
+(Sec. 5.3): ``E_base`` comes from the underlying index construction (HNSW,
+NSG, …) and ``E_extra`` is added by NGFix/RFix.  Extra edges carry their
+Escape Hardness value (the paper stores 16 bits per extra edge) which drives
+eviction when a node's extra out-degree budget is exhausted, and partial
+rebuilds drop only extra edges.  Tombstones implement lazy deletion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# Sentinel EH for edges that must never be evicted (RFix navigation edges).
+EH_INFINITE = float("inf")
+
+
+class AdjacencyStore:
+    """Per-node base neighbors, extra neighbors (with EH tags), tombstones.
+
+    The combined neighbor array of each node is cached as a NumPy array for
+    the search hot path and invalidated on mutation.
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self._base: list[list[int]] = [[] for _ in range(n_nodes)]
+        self._extra: list[dict[int, float]] = [{} for _ in range(n_nodes)]
+        self._cache: list[np.ndarray | None] = [None] * n_nodes
+        self.tombstones: set[int] = set()
+
+    # -- size bookkeeping ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._base)
+
+    def grow(self, n_new: int) -> None:
+        """Append ``n_new`` isolated nodes (for incremental insertion)."""
+        if n_new < 0:
+            raise ValueError(f"n_new must be non-negative, got {n_new}")
+        self._base.extend([] for _ in range(n_new))
+        self._extra.extend({} for _ in range(n_new))
+        self._cache.extend([None] * n_new)
+
+    # -- edge mutation --------------------------------------------------------
+
+    def set_base_neighbors(self, u: int, neighbors) -> None:
+        """Replace node ``u``'s base neighbor list."""
+        self._base[u] = [int(v) for v in neighbors if int(v) != u]
+        self._cache[u] = None
+
+    def add_base_edge(self, u: int, v: int) -> bool:
+        """Add base edge u->v; returns False if it already existed."""
+        u, v = int(u), int(v)
+        if u == v or v in self._base[u]:
+            return False
+        self._base[u].append(v)
+        self._cache[u] = None
+        return True
+
+    def add_extra_edge(self, u: int, v: int, eh: float) -> bool:
+        """Add (or re-tag) extra edge u->v carrying Escape Hardness ``eh``.
+
+        Re-adding an existing extra edge keeps the larger EH tag (an edge
+        proven hard by any query stays protected).  Returns True if the edge
+        is new.
+        """
+        u, v = int(u), int(v)
+        if u == v:
+            return False
+        existing = self._extra[u].get(v)
+        if existing is not None:
+            if eh > existing:
+                self._extra[u][v] = eh
+            return False
+        if v in self._base[u]:
+            return False
+        self._extra[u][v] = eh
+        self._cache[u] = None
+        return True
+
+    def remove_extra_edge(self, u: int, v: int) -> bool:
+        """Remove extra edge u->v if present."""
+        if self._extra[u].pop(v, None) is None:
+            return False
+        self._cache[u] = None
+        return True
+
+    def evict_lowest_eh(self, u: int) -> tuple[int, float] | None:
+        """Drop node ``u``'s extra edge with the smallest EH tag.
+
+        Paper Algorithm 3 lines 13-16: when the extra-degree budget is
+        exceeded, edges whose EH is low (i.e. edges that were easy to do
+        without) are pruned first.  Infinite-EH edges (RFix) are never
+        evicted.  Returns the evicted (target, eh) or None.
+        """
+        finite = [(eh, v) for v, eh in self._extra[u].items() if eh != EH_INFINITE]
+        if not finite:
+            return None
+        eh, v = min(finite)
+        del self._extra[u][v]
+        self._cache[u] = None
+        return v, eh
+
+    # -- reads ----------------------------------------------------------------
+
+    def base_neighbors(self, u: int) -> list[int]:
+        return list(self._base[u])
+
+    def extra_neighbors(self, u: int) -> dict[int, float]:
+        """Extra neighbors of ``u`` mapped to their EH tags (copy)."""
+        return dict(self._extra[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Combined base+extra out-neighbors as an int64 array (cached)."""
+        cached = self._cache[u]
+        if cached is None:
+            combined = self._base[u] + list(self._extra[u])
+            cached = np.array(combined, dtype=np.int64) if combined else _EMPTY
+            self._cache[u] = cached
+        return cached
+
+    def out_degree(self, u: int) -> int:
+        return len(self._base[u]) + len(self._extra[u])
+
+    def extra_degree(self, u: int) -> int:
+        return len(self._extra[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._extra[u] or v in self._base[u]
+
+    # -- aggregates -----------------------------------------------------------
+
+    def n_base_edges(self) -> int:
+        return sum(len(lst) for lst in self._base)
+
+    def n_extra_edges(self) -> int:
+        return sum(len(d) for d in self._extra)
+
+    def average_out_degree(self) -> float:
+        return (self.n_base_edges() + self.n_extra_edges()) / self.n_nodes
+
+    def index_size_bytes(self) -> int:
+        """Estimated serialized size: 4 B per edge id + 2 B EH per extra edge.
+
+        Mirrors the paper's accounting (Sec. 6.5): NGFix* stores an extra
+        16-bit EH per added edge, making it slightly larger per-edge than
+        RoarGraph/NSG.
+        """
+        return 4 * self.n_base_edges() + 6 * self.n_extra_edges()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def drop_extra_fraction(self, fraction: float,
+                            rng: np.random.Generator) -> int:
+        """Randomly remove ``fraction`` of all extra edges; reset kept EH to 0.
+
+        Implements step (1) of the paper's partial rebuild (Sec. 5.5.1):
+        remove a proportion of extra outgoing edges (base edges untouched)
+        and reset remaining EH values, because stale hardness estimates no
+        longer reflect the current graph.  Returns the number removed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        removed = 0
+        for u in range(self.n_nodes):
+            extra = self._extra[u]
+            if not extra:
+                continue
+            targets = list(extra)
+            n_drop = int(round(fraction * len(targets)))
+            if n_drop:
+                for v in rng.choice(len(targets), size=n_drop, replace=False):
+                    del extra[targets[int(v)]]
+                removed += n_drop
+            for v in extra:
+                extra[v] = 0.0
+            self._cache[u] = None
+        return removed
+
+    def remove_node_edges(self, deleted: set[int]) -> None:
+        """Physically remove all edges into/out of ``deleted`` nodes.
+
+        Used by the compaction path of deletion (Sec. 5.5.2): once tombstones
+        exceed the threshold, a full traversal strips deleted points and
+        their incoming edges.
+        """
+        for u in range(self.n_nodes):
+            if u in deleted:
+                self._base[u] = []
+                self._extra[u] = {}
+                self._cache[u] = None
+                continue
+            base = [v for v in self._base[u] if v not in deleted]
+            if len(base) != len(self._base[u]):
+                self._base[u] = base
+                self._cache[u] = None
+            extra_hits = [v for v in self._extra[u] if v in deleted]
+            for v in extra_hits:
+                del self._extra[u][v]
+            if extra_hits:
+                self._cache[u] = None
+
+    def copy(self) -> "AdjacencyStore":
+        """Deep copy (used by ablation benches to fork a base graph)."""
+        out = AdjacencyStore(self.n_nodes)
+        out._base = [list(lst) for lst in self._base]
+        out._extra = [dict(d) for d in self._extra]
+        out.tombstones = set(self.tombstones)
+        return out

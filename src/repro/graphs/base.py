@@ -1,0 +1,149 @@
+"""GraphIndex base class and the brute-force reference index."""
+
+from __future__ import annotations
+
+import abc
+import copy
+
+import numpy as np
+
+from repro.distances import DistanceComputer, Metric
+from repro.graphs.adjacency import AdjacencyStore
+from repro.graphs.search import SearchResult, VisitedTable, greedy_search
+
+
+def medoid_id(dc: DistanceComputer) -> int:
+    """Id of the base point closest to the dataset centroid.
+
+    The paper fixes the search entry point at "the centroid of the base data"
+    (Sec. 5.4); since the centroid itself is not a data point, the nearest
+    base point (the medoid in this loose sense) is used, as NSG does.
+    """
+    centroid = dc.data.mean(axis=0)
+    q = dc.prepare_query(centroid)
+    saved = dc.ndc
+    dists = dc.all_to_query(q)
+    dc.ndc = saved  # index-build bookkeeping, not query work
+    return int(np.argmin(dists))
+
+
+class GraphIndex(abc.ABC):
+    """Common shell for all graph indexes.
+
+    Subclasses populate ``self.adjacency`` (an :class:`AdjacencyStore` over
+    the bottom search layer) and implement :meth:`entry_points`.  Search runs
+    Algorithm 1 over the combined base+extra adjacency, honoring tombstones.
+    """
+
+    def __init__(self, data: np.ndarray, metric: Metric | str):
+        self.dc = DistanceComputer(data, metric)
+        self.adjacency = AdjacencyStore(self.dc.size)
+        self._visited = VisitedTable(self.dc.size)
+
+    @property
+    def size(self) -> int:
+        return self.dc.size
+
+    @property
+    def dim(self) -> int:
+        return self.dc.dim
+
+    @property
+    def metric(self) -> Metric:
+        return self.dc.metric
+
+    @abc.abstractmethod
+    def entry_points(self, query: np.ndarray) -> list[int]:
+        """Starting node ids for a (prepared) query."""
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None,
+               collect_visited: bool = False) -> SearchResult:
+        """Greedy-search the bottom layer for the top-``k`` neighbors."""
+        if ef is None:
+            ef = max(k, 10)
+        q = self.dc.prepare_query(query)
+        excluded = self.adjacency.tombstones or None
+        return greedy_search(
+            self.dc,
+            self.adjacency.neighbors,
+            self.entry_points(q),
+            q,
+            k=k,
+            ef=ef,
+            visited=self._visited,
+            excluded=excluded,
+            collect_visited=collect_visited,
+            prepared=True,
+        )
+
+    def search_many(self, queries: np.ndarray, k: int,
+                    ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Search a batch; returns (ids, distances) of shape (nq, k).
+
+        Rows whose graph region yields fewer than k results are padded with
+        id -1 / distance inf.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+        distances = np.full((queries.shape[0], k), np.inf)
+        for i, query in enumerate(queries):
+            result = self.search(query, k=k, ef=ef)
+            m = min(k, len(result.ids))
+            ids[i, :m] = result.ids[:m]
+            distances[i, :m] = result.distances[:m]
+        return ids, distances
+
+    def clone(self) -> "GraphIndex":
+        """An independent copy sharing nothing mutable with the original.
+
+        Cloning an already-built index is far cheaper than rebuilding it;
+        benchmarks use this to fork one cached base graph into several
+        fixing/ablation arms.
+        """
+        out = self.__class__.__new__(self.__class__)
+        for key, value in self.__dict__.items():
+            if key == "dc":
+                out.dc = DistanceComputer(self.dc.data, self.dc.metric)
+            elif key == "adjacency":
+                out.adjacency = self.adjacency.copy()
+            elif key == "_visited":
+                out._visited = VisitedTable(self.dc.size)
+            else:
+                setattr(out, key, copy.deepcopy(value))
+        return out
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Degree/size statistics (paper Sec. 6.5 accounting)."""
+        return {
+            "n_nodes": self.size,
+            "n_base_edges": self.adjacency.n_base_edges(),
+            "n_extra_edges": self.adjacency.n_extra_edges(),
+            "avg_out_degree": self.adjacency.average_out_degree(),
+            "index_size_bytes": self.adjacency.index_size_bytes(),
+            "n_tombstones": len(self.adjacency.tombstones),
+        }
+
+
+class BruteForceIndex:
+    """Exact search by full scan — the accuracy ceiling for sanity checks.
+
+    Implements the same ``search``/``dc`` interface as graph indexes so it
+    can run through the evaluation harness.
+    """
+
+    def __init__(self, data: np.ndarray, metric: Metric | str):
+        self.dc = DistanceComputer(data, metric)
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
+        """Exact top-k by scanning all base vectors (``ef`` ignored)."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        q = self.dc.prepare_query(query)
+        dists = self.dc.all_to_query(q)
+        k = min(k, dists.shape[0])
+        part = np.argpartition(dists, k - 1)[:k]
+        order = np.argsort(dists[part], kind="stable")
+        ids = part[order].astype(np.int64)
+        return SearchResult(ids=ids, distances=dists[ids].astype(np.float64))

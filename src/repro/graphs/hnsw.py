@@ -1,0 +1,232 @@
+"""HNSW (Malkov & Yashunin 2020) — baseline and NGFix*'s default base graph.
+
+Full implementation: exponential level assignment, per-layer greedy descent,
+RNG-heuristic neighbor selection with pruned-connection backfill, and
+bidirectional linking with degree shrinking.  Two details follow the paper's
+experimental setup (Sec. 6.1):
+
+- ``single_layer=True`` builds only the bottom layer and searches from the
+  dataset medoid — the paper uses just HNSW's base layer as the NGFix base
+  graph because upper layers contribute little in high dimensions.
+- Incremental :meth:`insert` is supported after construction, which the
+  maintenance experiments (Fig. 18) rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distances import Metric
+from repro.graphs.base import GraphIndex, medoid_id
+from repro.graphs.pruning import rng_prune
+from repro.graphs.search import greedy_search
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_positive
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class HNSW(GraphIndex):
+    """Hierarchical Navigable Small World index.
+
+    Parameters
+    ----------
+    data, metric:
+        Base vectors and similarity metric.
+    M:
+        Target out-degree on upper layers; the bottom layer allows ``2 * M``.
+    ef_construction:
+        Beam width while collecting link candidates during insertion.
+    single_layer:
+        Build only the bottom layer (all nodes at level 0) and enter at the
+        medoid, as the paper does for the NGFix base graph.
+    keep_pruned:
+        Backfill pruned candidates up to the degree budget (hnswlib's
+        ``keepPrunedConnections`` heuristic).
+    seed:
+        Level-assignment randomness.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        metric: Metric | str,
+        M: int = 16,
+        ef_construction: int = 100,
+        single_layer: bool = False,
+        keep_pruned: bool = True,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        check_positive(M, "M")
+        check_positive(ef_construction, "ef_construction")
+        super().__init__(data, metric)
+        self.M = M
+        self.M0 = 2 * M
+        self.ef_construction = ef_construction
+        self.single_layer = single_layer
+        self.keep_pruned = keep_pruned
+        self._rng = ensure_rng(seed)
+        self._mult = 1.0 / math.log(M)
+        self._shrink_slack = 4
+        self._levels: list[int] = []
+        self._upper: list[dict[int, list[int]]] = []  # layers 1..max_level
+        self._entry: int | None = None
+        self._medoid: int | None = None
+
+        for i in range(self.dc.size):
+            self._insert_node(i)
+
+    # -- construction -----------------------------------------------------
+
+    def _assign_level(self) -> int:
+        if self.single_layer:
+            return 0
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._mult)
+
+    def _layer_neighbors_fn(self, level: int):
+        if level == 0:
+            return self.adjacency.neighbors
+        layer = self._upper[level - 1]
+
+        def fn(u: int) -> np.ndarray:
+            lst = layer.get(u)
+            return np.array(lst, dtype=np.int64) if lst else _EMPTY
+
+        return fn
+
+    def _descend(self, q: np.ndarray, start: int, from_level: int,
+                 to_level: int) -> int:
+        """Greedy ef=1 walk from ``from_level`` down to ``to_level`` (exclusive)."""
+        cur = start
+        cur_d = self.dc.one_to_query(cur, q)
+        for level in range(from_level, to_level, -1):
+            layer = self._upper[level - 1]
+            improved = True
+            while improved:
+                improved = False
+                neigh = layer.get(cur)
+                if not neigh:
+                    break
+                arr = np.array(neigh, dtype=np.int64)
+                dists = self.dc.to_query(arr, q)
+                j = int(np.argmin(dists))
+                if dists[j] < cur_d:
+                    cur, cur_d = int(arr[j]), float(dists[j])
+                    improved = True
+        return cur
+
+    def _select_neighbors(self, u: int, candidate_ids: np.ndarray,
+                          candidate_dists: np.ndarray, max_degree: int) -> list[int]:
+        """RNG-heuristic selection with optional pruned backfill."""
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        if candidate_dists is None:
+            candidate_dists = self.dc.many_between(candidate_ids, u)
+        kept = rng_prune(self.dc, u, candidate_ids, max_degree,
+                         distances=candidate_dists)
+        if self.keep_pruned and len(kept) < max_degree:
+            kept_set = set(kept)
+            order = np.argsort(candidate_dists, kind="stable")
+            for j in order:
+                c = int(candidate_ids[j])
+                if c != u and c not in kept_set:
+                    kept.append(c)
+                    kept_set.add(c)
+                    if len(kept) >= max_degree:
+                        break
+        return kept
+
+    def _shrink(self, v: int, level: int) -> None:
+        """Re-prune node ``v``'s links on ``level`` back to the degree cap."""
+        if level == 0:
+            neigh = self.adjacency.base_neighbors(v)
+            cap = self.M0
+            if len(neigh) <= cap:
+                return
+            self.adjacency.set_base_neighbors(
+                v, self._select_neighbors(v, np.array(neigh), None, cap))
+        else:
+            layer = self._upper[level - 1]
+            neigh = layer.get(v, [])
+            if len(neigh) <= self.M:
+                return
+            layer[v] = self._select_neighbors(v, np.array(neigh), None, self.M)
+
+    def _insert_node(self, new_id: int) -> None:
+        level = self._assign_level()
+        self._levels.append(level)
+        while len(self._upper) < level:
+            self._upper.append({})
+        for lv in range(1, level + 1):
+            self._upper[lv - 1].setdefault(new_id, [])
+        self._medoid = None  # invalidated by any insertion
+
+        if self._entry is None:
+            self._entry = new_id
+            return
+        q = self.dc.data[new_id]
+        entry = self._entry
+        top = self._levels[self._entry]
+        if top > level:
+            entry = self._descend(q, entry, top, level)
+
+        eps = [entry]
+        for lv in range(min(level, top), -1, -1):
+            result = greedy_search(
+                self.dc, self._layer_neighbors_fn(lv), eps, q,
+                k=self.ef_construction, ef=self.ef_construction,
+                visited=self._visited, prepared=True,
+            )
+            cand_ids = result.ids[result.ids != new_id]
+            cand_d = result.distances[result.ids != new_id]
+            cap = self.M0 if lv == 0 else self.M
+            selected = self._select_neighbors(new_id, cand_ids, cand_d, cap)
+            if lv == 0:
+                self.adjacency.set_base_neighbors(new_id, selected)
+            else:
+                self._upper[lv - 1][new_id] = list(selected)
+            for v in selected:
+                if lv == 0:
+                    self.adjacency.add_base_edge(v, new_id)
+                    # Shrink with a small slack so re-pruning amortizes over
+                    # several reverse-edge additions instead of firing on
+                    # every one (quality is unaffected: degree only ever
+                    # overshoots the cap by the slack).
+                    if len(self.adjacency.base_neighbors(v)) > self.M0 + self._shrink_slack:
+                        self._shrink(v, 0)
+                else:
+                    layer = self._upper[lv - 1]
+                    layer.setdefault(v, []).append(new_id)
+                    if len(layer[v]) > self.M + self._shrink_slack:
+                        self._shrink(v, lv)
+            eps = cand_ids.tolist() or [entry]
+
+        if level > self._levels[self._entry]:
+            self._entry = new_id
+
+    # -- public API ---------------------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one new vector, returning its id (paper Sec. 5.5.1)."""
+        new_id = self.dc.append(vector)
+        self.adjacency.grow(1)
+        self._visited.grow(self.dc.size)
+        self._insert_node(new_id)
+        return new_id
+
+    def medoid(self) -> int:
+        """Medoid entry point used in single-layer mode (cached)."""
+        if self._medoid is None:
+            self._medoid = medoid_id(self.dc)
+        return self._medoid
+
+    def entry_points(self, query: np.ndarray) -> list[int]:
+        if self.single_layer or not self._upper:
+            return [self.medoid()]
+        top = self._levels[self._entry]
+        return [self._descend(query, self._entry, top, 0)]
+
+    def max_level(self) -> int:
+        """Highest occupied layer."""
+        return max(self._levels) if self._levels else 0

@@ -1,0 +1,146 @@
+"""Edge-selection (pruning) rules shared by all graph builders.
+
+All rules take a node ``u`` and a candidate list sorted ascending by distance
+to ``u`` and return the retained neighbor ids (at most ``max_degree``):
+
+- :func:`rng_prune` / :func:`mrng_prune` — the Relative Neighborhood Graph
+  occlusion rule used by HNSW's heuristic and NSG: a candidate is kept only
+  if no already-kept neighbor is closer to it than ``u`` is.  Geometrically
+  this enforces a >60° angle between kept edges, the dispersion property RFix
+  relies on (Sec. 5.4).
+- :func:`alpha_prune` — Vamana/DiskANN's relaxation: occluders must be
+  ``alpha``× closer, retaining longer detour edges for robustness.
+- :func:`tau_prune` — the τ-MNG rule (Peng et al. 2023): an occluder only
+  prunes when it is closer by a 3τ margin, preserving τ-monotonic paths.
+- :func:`random_prune` / EH-aware eviction — the Fig. 14 ablation
+  comparators for NGFix's extra-edge budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import DistanceComputer, pairwise_distances
+from repro.utils.rng_utils import ensure_rng
+
+
+# Candidate pools larger than this are truncated to the closest entries
+# before pruning; occlusion rules essentially never keep candidates that far
+# down the list, and the cap bounds the pairwise matrix below.
+_POOL_CAP = 1024
+
+
+def _occlusion_prune(
+    dc: DistanceComputer,
+    candidates: list[tuple[float, int]],
+    max_degree: int,
+    margin_fn,
+) -> list[int]:
+    """Generic occlusion rule: keep c unless some kept s occludes it.
+
+    All candidate-to-candidate distances are computed as one pairwise matrix
+    (pool sizes are modest — see ``_POOL_CAP``), so the selection loop does
+    only array lookups.
+    """
+    if not candidates:
+        return []
+    ids = np.fromiter((c for _, c in candidates), dtype=np.int64,
+                      count=len(candidates))
+    d_u = np.fromiter((d for d, _ in candidates), dtype=np.float64,
+                      count=len(candidates))
+    between = pairwise_distances(dc.data[ids], dc.data[ids], dc.metric)
+    kept_rows = np.empty(max_degree, dtype=np.int64)
+    kept: list[int] = []
+    for i in range(ids.shape[0]):
+        if len(kept) >= max_degree:
+            break
+        if kept and (between[kept_rows[: len(kept)], i] < margin_fn(d_u[i])).any():
+            continue
+        kept_rows[len(kept)] = i
+        kept.append(int(ids[i]))
+    return kept
+
+
+def _sorted_candidates(
+    dc: DistanceComputer, u: int, candidate_ids, distances=None,
+) -> list[tuple[float, int]]:
+    ids = np.asarray(list(candidate_ids), dtype=np.int64)
+    ids = ids[ids != u]
+    if ids.size == 0:
+        return []
+    ids = np.unique(ids)
+    if distances is None:
+        dists = dc.many_between(ids, u)
+    else:
+        lookup = {int(i): float(d) for i, d in zip(candidate_ids, distances)}
+        dists = np.array([lookup[int(i)] for i in ids])
+    order = np.argsort(dists, kind="stable")[:_POOL_CAP]
+    return [(float(dists[j]), int(ids[j])) for j in order]
+
+
+def rng_prune(dc: DistanceComputer, u: int, candidate_ids, max_degree: int,
+              distances=None) -> list[int]:
+    """RNG rule: keep c iff every kept s satisfies d(s, c) >= d(u, c)."""
+    candidates = _sorted_candidates(dc, u, candidate_ids, distances)
+    return _occlusion_prune(dc, candidates, max_degree, lambda d: d)
+
+
+# MRNG's local selection rule coincides with the RNG occlusion test applied
+# to a candidate set sorted by distance (Fu et al. 2019 build NSG this way).
+mrng_prune = rng_prune
+
+
+def alpha_prune(dc: DistanceComputer, u: int, candidate_ids, max_degree: int,
+                alpha: float = 1.2, distances=None) -> list[int]:
+    """Vamana α-rule: s occludes c only when alpha * d(s, c) < d(u, c)."""
+    if alpha < 1.0:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    candidates = _sorted_candidates(dc, u, candidate_ids, distances)
+    return _occlusion_prune(dc, candidates, max_degree, lambda d: d / alpha)
+
+
+def tau_prune(dc: DistanceComputer, u: int, candidate_ids, max_degree: int,
+              tau: float = 0.0, distances=None) -> list[int]:
+    """τ-MNG rule: s occludes c only when d(s, c) < d(u, c) - 3τ.
+
+    With τ=0 this reduces to the RNG rule; larger τ keeps more (longer)
+    edges, buying τ-monotonicity of search paths at higher degree.
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    candidates = _sorted_candidates(dc, u, candidate_ids, distances)
+    return _occlusion_prune(dc, candidates, max_degree, lambda d: d - 3.0 * tau)
+
+
+def rng_prune_backfill(dc: DistanceComputer, u: int, candidate_ids,
+                       max_degree: int, distances=None) -> list[int]:
+    """RNG rule, then backfill nearest pruned candidates up to the budget.
+
+    This is the selection HNSW's ``keepPrunedConnections`` heuristic and
+    RoarGraph's neighbor lists use: occlusion picks the well-spread core and
+    the remaining slots go to the closest rejected candidates, keeping the
+    out-degree near the budget instead of collapsing on tightly clustered
+    pools.
+    """
+    candidates = _sorted_candidates(dc, u, candidate_ids, distances)
+    kept = _occlusion_prune(dc, candidates, max_degree, lambda d: d)
+    if len(kept) < max_degree:
+        kept_set = set(kept)
+        for _, c in candidates:
+            if c not in kept_set:
+                kept.append(c)
+                kept_set.add(c)
+                if len(kept) >= max_degree:
+                    break
+    return kept
+
+
+def random_prune(candidate_ids, max_degree: int,
+                 seed: int | np.random.Generator | None = 0) -> list[int]:
+    """Keep a uniform random subset — the Fig. 14 'random pruning' baseline."""
+    rng = ensure_rng(seed)
+    ids = list(dict.fromkeys(int(c) for c in candidate_ids))
+    if len(ids) <= max_degree:
+        return ids
+    picks = rng.choice(len(ids), size=max_degree, replace=False)
+    return [ids[int(i)] for i in picks]

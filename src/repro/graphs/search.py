@@ -1,0 +1,175 @@
+"""Greedy (beam) search — Algorithm 1 of the paper.
+
+The search keeps a candidate min-heap ``C`` and a bounded result max-heap
+``R`` of size ``ef`` (the paper's search list size L).  At each step the
+closest unexpanded candidate is popped; if it is farther than the worst
+result and ``R`` is full, the search terminates.  Otherwise its unvisited
+neighbors are batch-scored (one vectorized distance call — this is where NDC
+accrues) and pushed.
+
+Tombstoned nodes still *navigate* (lazy deletion, Sec. 5.5.2) but are
+excluded from the result heap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+import numpy as np
+
+from repro.distances import DistanceComputer
+
+
+class VisitedTable:
+    """O(1)-reset visited marks via version stamping.
+
+    A fresh boolean array per query would cost O(n) per search; instead an
+    int32 stamp array is compared against a per-search version counter.
+    """
+
+    def __init__(self, n: int):
+        self._stamps = np.zeros(n, dtype=np.int32)
+        self._version = 0
+
+    def next_epoch(self) -> None:
+        """Start a new search; previously set marks become invisible."""
+        self._version += 1
+        if self._version == np.iinfo(np.int32).max:
+            self._stamps[:] = 0
+            self._version = 1
+
+    def grow(self, n: int) -> None:
+        """Extend capacity to ``n`` nodes."""
+        if n > self._stamps.shape[0]:
+            extra = np.zeros(n - self._stamps.shape[0], dtype=np.int32)
+            self._stamps = np.concatenate([self._stamps, extra])
+
+    def filter_unvisited(self, ids: np.ndarray) -> np.ndarray:
+        """Return the subset of ``ids`` not yet visited, marking them visited."""
+        mask = self._stamps[ids] != self._version
+        fresh = ids[mask]
+        self._stamps[fresh] = self._version
+        return fresh
+
+    def mark(self, i: int) -> None:
+        self._stamps[i] = self._version
+
+    def is_visited(self, i: int) -> bool:
+        return self._stamps[i] == self._version
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one greedy search.
+
+    ``ids``/``distances`` are the top-k results sorted ascending by distance.
+    ``visited_ids``/``visited_distances`` are populated only when the search
+    was asked to collect them (used by RFix's candidate expansion and by the
+    approximate-NN preprocessing mode) and cover every node whose distance to
+    the query was computed.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    n_hops: int = 0
+    visited_ids: np.ndarray | None = None
+    visited_distances: np.ndarray | None = None
+
+
+def greedy_search(
+    dc: DistanceComputer,
+    neighbors_fn,
+    entry_points,
+    query: np.ndarray,
+    k: int,
+    ef: int,
+    visited: VisitedTable | None = None,
+    excluded: set[int] | None = None,
+    collect_visited: bool = False,
+    prepared: bool = False,
+) -> SearchResult:
+    """Beam search over a directed graph (paper Algorithm 1).
+
+    Parameters
+    ----------
+    dc:
+        Distance computer over the base vectors (counts NDC).
+    neighbors_fn:
+        ``node_id -> np.ndarray`` of out-neighbors.
+    entry_points:
+        Iterable of starting node ids.
+    k, ef:
+        Result count and search list size; ``ef`` is clamped up to ``k``.
+    visited:
+        Reusable :class:`VisitedTable`; allocated fresh when omitted.
+    excluded:
+        Node ids barred from the result set (tombstones); they still expand.
+    collect_visited:
+        Also return every (id, distance) pair evaluated.
+    prepared:
+        Set True when ``query`` already went through ``dc.prepare_query``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    ef = max(ef, k)
+    q = query if prepared else dc.prepare_query(query)
+    if visited is None:
+        visited = VisitedTable(dc.size)
+    visited.next_epoch()
+
+    entry_ids = np.unique(np.asarray(list(entry_points), dtype=np.int64))
+    if entry_ids.size == 0:
+        raise ValueError("at least one entry point is required")
+    visited._stamps[entry_ids] = visited._version
+    entry_d = dc.to_query(entry_ids, q)
+
+    collect_i: list[np.ndarray] = [entry_ids] if collect_visited else []
+    collect_d: list[np.ndarray] = [entry_d] if collect_visited else []
+
+    candidates: list[tuple[float, int]] = []  # min-heap on distance
+    results: list[tuple[float, int]] = []  # max-heap via negated distance
+    for node, dist in zip(entry_ids.tolist(), entry_d.tolist()):
+        heapq.heappush(candidates, (dist, node))
+        if excluded is None or node not in excluded:
+            heapq.heappush(results, (-dist, node))
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    n_hops = 0
+    while candidates:
+        dist_u, u = heapq.heappop(candidates)
+        if len(results) >= ef and dist_u > -results[0][0]:
+            break
+        n_hops += 1
+        neigh = neighbors_fn(u)
+        if neigh.size == 0:
+            continue
+        fresh = visited.filter_unvisited(neigh)
+        if fresh.size == 0:
+            continue
+        dists = dc.to_query(fresh, q)
+        if collect_visited:
+            collect_i.append(fresh)
+            collect_d.append(dists)
+        if len(results) >= ef:
+            bound = -results[0][0]
+            keep = dists < bound
+            fresh, dists = fresh[keep], dists[keep]
+        for node, dist in zip(fresh.tolist(), dists.tolist()):
+            if len(results) >= ef and dist >= -results[0][0]:
+                continue
+            heapq.heappush(candidates, (dist, node))
+            if excluded is None or node not in excluded:
+                heapq.heappush(results, (-dist, node))
+                if len(results) > ef:
+                    heapq.heappop(results)
+
+    ordered = sorted((-d, node) for d, node in results)[:k]
+    ids = np.array([node for _, node in ordered], dtype=np.int64)
+    distances = np.array([d for d, _ in ordered], dtype=np.float64)
+    result = SearchResult(ids=ids, distances=distances, n_hops=n_hops)
+    if collect_visited:
+        result.visited_ids = np.concatenate(collect_i)
+        result.visited_distances = np.concatenate(collect_d)
+    return result

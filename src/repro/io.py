@@ -1,0 +1,117 @@
+"""Index persistence: save any built graph index, reload it searchable.
+
+A production deployment builds (and fixes) once, then serves from many
+processes; this module serializes the searchable artifact — base vectors,
+metric, adjacency (base edges as CSR, extra edges as (u, v, EH) triplets),
+tombstones, and the entry point — into a single ``.npz`` file.
+
+The loaded object is a :class:`FrozenIndex`: fully searchable, usable as an
+:class:`~repro.core.fixer.NGFixer` base (so fixing can continue on a loaded
+index), but without the original builder's insert machinery.  Re-building is
+required to insert new points into a frozen index.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.distances import Metric
+from repro.graphs.base import GraphIndex
+
+_FORMAT_VERSION = 1
+
+
+class FrozenIndex(GraphIndex):
+    """A searchable graph index reconstructed from a saved artifact."""
+
+    def __init__(self, data: np.ndarray, metric: Metric | str, entry: int):
+        super().__init__(data, metric)
+        self.entry = int(entry)
+
+    def entry_points(self, query: np.ndarray) -> list[int]:
+        return [self.entry]
+
+
+def _resolve_target(obj) -> GraphIndex:
+    """Accept a GraphIndex or an NGFixer-like wrapper exposing ``.index``."""
+    if isinstance(obj, GraphIndex):
+        return obj
+    inner = getattr(obj, "index", None)
+    if isinstance(inner, GraphIndex):
+        return inner
+    raise TypeError(f"cannot save object of type {type(obj).__name__}")
+
+
+def _entry_of(obj, index: GraphIndex) -> int:
+    if hasattr(obj, "entry"):  # NGFixer
+        return int(obj.entry)
+    if hasattr(index, "medoid"):
+        return int(index.medoid())
+    return 0
+
+
+def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
+    """Serialize a graph index (or an NGFixer wrapping one) to ``path``.
+
+    Returns the written path (``.npz`` appended if missing).
+    """
+    index = _resolve_target(obj)
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    adjacency = index.adjacency
+    indptr = np.zeros(adjacency.n_nodes + 1, dtype=np.int64)
+    indices = []
+    extra_u, extra_v, extra_eh = [], [], []
+    for u in range(adjacency.n_nodes):
+        base = adjacency.base_neighbors(u)
+        indices.extend(base)
+        indptr[u + 1] = indptr[u] + len(base)
+        for v, eh in adjacency.extra_neighbors(u).items():
+            extra_u.append(u)
+            extra_v.append(v)
+            extra_eh.append(eh)
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "metric": index.metric.value,
+        "source_class": type(index).__name__,
+        "entry": _entry_of(obj, index),
+    }
+    np.savez_compressed(
+        path,
+        data=index.dc.data,
+        indptr=indptr,
+        indices=np.array(indices, dtype=np.int64),
+        extra_u=np.array(extra_u, dtype=np.int64),
+        extra_v=np.array(extra_v, dtype=np.int64),
+        extra_eh=np.array(extra_eh, dtype=np.float64),
+        tombstones=np.array(sorted(adjacency.tombstones), dtype=np.int64),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_index(path: str | pathlib.Path) -> FrozenIndex:
+    """Reload a saved index as a searchable :class:`FrozenIndex`."""
+    path = pathlib.Path(path)
+    with np.load(path) as payload:
+        meta = json.loads(bytes(payload["meta"]).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {meta.get('format_version')!r}")
+        index = FrozenIndex(payload["data"], meta["metric"], meta["entry"])
+        indptr = payload["indptr"]
+        indices = payload["indices"]
+        for u in range(indptr.shape[0] - 1):
+            index.adjacency.set_base_neighbors(
+                u, indices[indptr[u]:indptr[u + 1]].tolist())
+        for u, v, eh in zip(payload["extra_u"], payload["extra_v"],
+                            payload["extra_eh"]):
+            index.adjacency.add_extra_edge(int(u), int(v), float(eh))
+        index.adjacency.tombstones.update(int(t) for t in payload["tombstones"])
+    return index

@@ -1,0 +1,22 @@
+"""Vector quantization substrate: k-means, Product Quantization, and a
+PQ-accelerated graph searcher.
+
+Sec. 3 of the paper notes that graph indexes "can be combined with other
+methods to achieve better overall performance", citing quantization+graph
+hybrids (SymphonyQG et al.).  This package provides that composition for
+the NGFix* index: greedy traversal scored by asymmetric-distance (ADC)
+table lookups over PQ codes, followed by exact re-ranking of the shortlist.
+"""
+
+from repro.quantization.kmeans import kmeans
+from repro.quantization.pq import ProductQuantizer
+from repro.quantization.searcher import PQRerankSearcher, pq_greedy_search
+from repro.quantization.ivf import IVFFlat
+
+__all__ = [
+    "kmeans",
+    "ProductQuantizer",
+    "PQRerankSearcher",
+    "pq_greedy_search",
+    "IVFFlat",
+]

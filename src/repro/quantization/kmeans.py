@@ -1,0 +1,77 @@
+"""Lloyd's k-means with k-means++ seeding (NumPy, no sklearn).
+
+Used by the product quantizer's per-subspace codebooks and by the
+cluster-centroid entry strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import check_matrix, check_positive
+
+
+def _kmeanspp_init(data: np.ndarray, k: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]), dtype=np.float64)
+    centers[0] = data[rng.integers(n)]
+    closest_sq = ((data - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-12:  # all points identical to chosen centers
+            centers[j:] = centers[0]
+            break
+        probs = closest_sq / total
+        centers[j] = data[rng.choice(n, p=probs)]
+        dist_sq = ((data - centers[j]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    n_iters: int = 25,
+    seed: int | np.random.Generator | None = 0,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``data`` into ``k`` centers; returns (centers, assignments).
+
+    Empty clusters are re-seeded from the point farthest from its center,
+    so exactly ``k`` centers always come back.
+    """
+    data = check_matrix(data, "data", dtype=np.float64)
+    check_positive(k, "k")
+    if k > data.shape[0]:
+        raise ValueError(f"k={k} exceeds n={data.shape[0]}")
+    rng = ensure_rng(seed)
+    centers = _kmeanspp_init(data, k, rng)
+    assignments = np.zeros(data.shape[0], dtype=np.int64)
+    for _ in range(n_iters):
+        # assignment step (blockwise distance computation)
+        d = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(-1) \
+            if data.shape[0] * k <= 2_000_000 else None
+        if d is None:
+            d = np.empty((data.shape[0], k))
+            for j in range(k):
+                d[:, j] = ((data - centers[j]) ** 2).sum(axis=1)
+        new_assignments = d.argmin(axis=1)
+        shift = 0.0
+        for j in range(k):
+            members = data[new_assignments == j]
+            if members.shape[0] == 0:
+                # re-seed from the globally worst-served point
+                worst = int(d[np.arange(d.shape[0]), new_assignments].argmax())
+                centers[j] = data[worst]
+                new_assignments[worst] = j
+                continue
+            new_center = members.mean(axis=0)
+            shift += float(((new_center - centers[j]) ** 2).sum())
+            centers[j] = new_center
+        assignments = new_assignments
+        if shift < tol:
+            break
+    return centers.astype(np.float32), assignments

@@ -1,0 +1,222 @@
+"""VectorStore — the batteries-included facade a downstream service uses.
+
+Ties the library together behind one object: an HNSW base graph with
+NGFix* fixing, online workload adaptation, payload storage, deletion with
+automatic repair, and persistence.  Everything underneath is the public
+API; the store only sequences it.
+
+    store = VectorStore(dim=48, metric="cosine")
+    store.add(vectors, payloads=[{"url": ...}, ...])
+    store.fit_history(historical_queries)         # NGFix* repair
+    hits = store.search(query, k=10)              # [(id, distance, payload)]
+    store.delete([3, 17])
+    store.save("index.npz")
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.fixer import FixConfig, NGFixer
+from repro.core.maintenance import IndexMaintainer
+from repro.distances import Metric
+from repro.graphs.hnsw import HNSW
+from repro.io import load_index, save_index
+from repro.utils.validation import check_positive
+
+
+class VectorStore:
+    """A small vector database around an NGFix*-maintained HNSW graph.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality (fixed at construction).
+    metric:
+        "l2", "ip", or "cosine".
+    M, ef_construction:
+        Base-graph build parameters.
+    fix_config:
+        NGFix* configuration; defaults to approximate preprocessing so
+        history fitting never needs exact ground truth.
+    """
+
+    def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
+                 M: int = 16, ef_construction: int = 100,
+                 fix_config: FixConfig | None = None, seed: int = 0):
+        check_positive(dim, "dim")
+        self.dim = dim
+        self.metric = Metric.parse(metric)
+        self._build_params = dict(M=M, ef_construction=ef_construction,
+                                  single_layer=True, seed=seed)
+        self.fix_config = fix_config or FixConfig(preprocess="approx")
+        self._payloads: dict[int, Any] = {}
+        self._pending: list[np.ndarray] = []
+        self._fixer: NGFixer | None = None
+        self._maintainer: IndexMaintainer | None = None
+        self._history: list[np.ndarray] = []
+
+    # -- ingestion ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        n = sum(v.shape[0] for v in self._pending)
+        if self._fixer is not None:
+            n += self._fixer.dc.size - len(self.deleted_ids)
+        return n
+
+    @property
+    def is_built(self) -> bool:
+        return self._fixer is not None
+
+    @property
+    def deleted_ids(self) -> set[int]:
+        if self._fixer is None:
+            return set()
+        return set(self._fixer.adjacency.tombstones) | getattr(
+            self._maintainer, "_deleted_ids", set())
+
+    def add(self, vectors: np.ndarray,
+            payloads: Sequence[Any] | None = None) -> list[int]:
+        """Add vectors (with optional per-vector payloads); returns ids.
+
+        Before the first build, vectors accumulate and are indexed together;
+        afterwards each goes through HNSW's incremental insertion.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dimension {self.dim}, got {vectors.shape[1]}")
+        if payloads is not None and len(payloads) != vectors.shape[0]:
+            raise ValueError("payloads length must match vectors")
+
+        if self._fixer is None:
+            first_id = sum(v.shape[0] for v in self._pending)
+            self._pending.append(vectors)
+            ids = list(range(first_id, first_id + vectors.shape[0]))
+        else:
+            ids = self._maintainer.insert(vectors)
+        if payloads is not None:
+            for i, payload in zip(ids, payloads):
+                self._payloads[i] = payload
+        return ids
+
+    def build(self) -> "VectorStore":
+        """Index all pending vectors (idempotent after the first call)."""
+        if self._fixer is not None:
+            if self._pending:
+                raise RuntimeError("internal: pending vectors after build")
+            return self
+        if not self._pending:
+            raise RuntimeError("add() vectors before build()")
+        data = np.vstack(self._pending)
+        self._pending = []
+        base = HNSW(data, self.metric, **self._build_params)
+        self._fixer = NGFixer(base, self.fix_config)
+        self._maintainer = IndexMaintainer(
+            self._fixer, np.empty((0, self.dim), dtype=np.float32)
+            if not self._history else np.vstack(self._history))
+        return self
+
+    # -- fixing -------------------------------------------------------------
+
+    def fit_history(self, queries: np.ndarray) -> dict:
+        """Run NGFix*/RFix over historical queries (builds first if needed)."""
+        if self._fixer is None:
+            self.build()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        self._history.append(queries)
+        self._maintainer.history = np.vstack(self._history)
+        self._fixer.fit(queries)
+        return self._fixer.stats()
+
+    def observe(self, query: np.ndarray) -> None:
+        """Feed one served query back into online fixing."""
+        if self._fixer is None:
+            raise RuntimeError("build() before observe()")
+        self._fixer.fix_query(np.asarray(query, dtype=np.float32))
+
+    # -- serving ------------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int = 10, ef: int | None = None,
+               where=None) -> list[tuple[int, float, Any]]:
+        """Top-k as (id, distance, payload) triples.
+
+        ``where`` optionally filters by payload predicate
+        (``payload -> bool``); filtered search over-fetches 4x (doubling up
+        to 16x) and post-filters, the standard small-scale strategy, so very
+        selective predicates may return fewer than k hits.
+        """
+        if self._fixer is None:
+            self.build()
+        query = np.asarray(query, dtype=np.float32)
+        if where is None:
+            result = self._fixer.search(query, k=k, ef=ef)
+            return [(int(i), float(d), self._payloads.get(int(i)))
+                    for i, d in zip(result.ids, result.distances)]
+
+        fetch = 4 * k
+        while True:
+            result = self._fixer.search(query, k=fetch,
+                                        ef=max(ef or 0, fetch))
+            hits = [(int(i), float(d), self._payloads.get(int(i)))
+                    for i, d in zip(result.ids, result.distances)
+                    if where(self._payloads.get(int(i)))]
+            if len(hits) >= k or fetch >= max(16 * k, self._fixer.dc.size):
+                return hits[:k]
+            fetch *= 2
+
+    def get_payload(self, vector_id: int) -> Any:
+        return self._payloads.get(int(vector_id))
+
+    # -- maintenance ----------------------------------------------------------
+
+    def delete(self, ids) -> bool:
+        """Delete vectors; compaction + NGFix repair fire automatically."""
+        if self._fixer is None:
+            raise RuntimeError("build() before delete()")
+        compacted = self._maintainer.delete(ids)
+        for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
+            self._payloads.pop(int(i), None)
+        return compacted
+
+    def stats(self) -> dict:
+        if self._fixer is None:
+            return {"built": False, "pending": sum(v.shape[0] for v in self._pending)}
+        out = self._fixer.stats()
+        out["built"] = True
+        out["payloads"] = len(self._payloads)
+        return out
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist graph + payloads (payloads must be JSON-serializable)."""
+        if self._fixer is None:
+            raise RuntimeError("build() before save()")
+        path = save_index(self._fixer, path)
+        sidecar = path.with_suffix(".payloads.json")
+        sidecar.write_text(json.dumps(
+            {str(k): v for k, v in self._payloads.items()}))
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path,
+             fix_config: FixConfig | None = None) -> "VectorStore":
+        """Reload a saved store; further fixing works, insertion does not
+        (the frozen graph lacks HNSW's builder state)."""
+        path = pathlib.Path(path)
+        frozen = load_index(path)
+        store = cls(dim=frozen.dc.dim, metric=frozen.dc.metric,
+                    fix_config=fix_config)
+        store._fixer = NGFixer(frozen, store.fix_config)
+        store._fixer.entry = frozen.entry
+        store._maintainer = IndexMaintainer(
+            store._fixer, np.empty((0, frozen.dc.dim), dtype=np.float32))
+        sidecar = path.with_suffix(".payloads.json")
+        if sidecar.exists():
+            store._payloads = {int(k): v for k, v in
+                               json.loads(sidecar.read_text()).items()}
+        return store

@@ -1,0 +1,19 @@
+"""Shared low-level helpers: bitsets, seeded RNG, validation, index IO."""
+
+from repro.utils.bitset import BitMatrix
+from repro.utils.rng_utils import ensure_rng
+from repro.utils.validation import (
+    check_matrix,
+    check_vector,
+    check_positive,
+    check_fraction,
+)
+
+__all__ = [
+    "BitMatrix",
+    "ensure_rng",
+    "check_matrix",
+    "check_vector",
+    "check_positive",
+    "check_fraction",
+]

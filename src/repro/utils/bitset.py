@@ -1,0 +1,132 @@
+"""Bit-matrix utilities for transitive-closure computations.
+
+The Escape Hardness algorithm (paper Algorithm 2) maintains a boolean
+reachability matrix over the top-K neighbors of a query and repeatedly
+re-closes it as vertices are added.  The paper's C++ implementation uses
+``std::bitset`` rows; here each row is a Python ``int`` used as a bitset,
+which gives the same word-parallel OR semantics (and is the fastest pure
+Python representation for dense boolean rows of a few hundred bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitMatrix:
+    """A square boolean matrix with int-bitset rows.
+
+    ``rows[i]`` has bit ``j`` set iff entry ``(i, j)`` is True.  Supports the
+    operations needed by incremental transitive closure: get/set single bits,
+    OR-ing one row into another, and a Warshall closure pass.
+    """
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = size
+        self.rows = [0] * size
+
+    def set(self, i: int, j: int) -> None:
+        """Set entry (i, j) to True."""
+        self.rows[i] |= 1 << j
+
+    def clear(self, i: int, j: int) -> None:
+        """Set entry (i, j) to False."""
+        self.rows[i] &= ~(1 << j)
+
+    def get(self, i: int, j: int) -> bool:
+        """Return entry (i, j)."""
+        return bool((self.rows[i] >> j) & 1)
+
+    def or_row(self, dst: int, src: int) -> bool:
+        """OR row ``src`` into row ``dst``; return True if ``dst`` changed."""
+        before = self.rows[dst]
+        after = before | self.rows[src]
+        self.rows[dst] = after
+        return after != before
+
+    def row_ones(self, i: int) -> list[int]:
+        """Return the column indices set in row ``i`` (ascending)."""
+        ones = []
+        row = self.rows[i]
+        j = 0
+        while row:
+            if row & 1:
+                ones.append(j)
+            row >>= 1
+            j += 1
+        return ones
+
+    def count_row(self, i: int) -> int:
+        """Return the number of set bits in row ``i``."""
+        return self.rows[i].bit_count()
+
+    def all_set(self, active: list[int] | None = None) -> bool:
+        """Return True if every (i, j) pair over ``active`` indices is set.
+
+        ``active`` defaults to all indices.  Diagonal entries are required
+        too, so callers should seed ``set(i, i)`` for reflexive relations.
+        """
+        idx = range(self.size) if active is None else active
+        mask = 0
+        for j in idx:
+            mask |= 1 << j
+        return all(self.rows[i] & mask == mask for i in idx)
+
+    def warshall_closure(self, active: list[int] | None = None) -> None:
+        """Close the matrix transitively over the ``active`` vertex set.
+
+        Runs the Floyd–Warshall boolean closure: for each pivot ``w``, any row
+        that can reach ``w`` absorbs ``w``'s row.  With int-bitset rows each
+        absorb is one big-int OR, i.e. O(size / wordsize) machine words.
+        """
+        idx = list(range(self.size)) if active is None else active
+        rows = self.rows
+        for w in idx:
+            w_bit = 1 << w
+            w_row = rows[w]
+            for i in idx:
+                if i != w and rows[i] & w_bit:
+                    rows[i] |= w_row
+
+    def copy(self) -> BitMatrix:
+        """Return a deep copy."""
+        out = BitMatrix(self.size)
+        out.rows = list(self.rows)
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """Return the matrix as a dense ``(size, size)`` boolean ndarray."""
+        out = np.zeros((self.size, self.size), dtype=bool)
+        for i in range(self.size):
+            row = self.rows[i]
+            j = 0
+            while row:
+                if row & 1:
+                    out[i, j] = True
+                row >>= 1
+                j += 1
+        return out
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> BitMatrix:
+        """Build a BitMatrix from a dense boolean array."""
+        arr = np.asarray(arr, dtype=bool)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"expected square 2-D array, got shape {arr.shape}")
+        out = cls(arr.shape[0])
+        for i in range(arr.shape[0]):
+            bits = 0
+            for j in np.flatnonzero(arr[i]):
+                bits |= 1 << int(j)
+            out.rows[i] = bits
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return self.size == other.size and self.rows == other.rows
+
+    def __repr__(self) -> str:
+        return f"BitMatrix(size={self.size}, ones={sum(r.bit_count() for r in self.rows)})"

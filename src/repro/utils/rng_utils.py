@@ -1,0 +1,31 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library accepts ``seed`` (or an existing
+``numpy.random.Generator``) so that index builds, dataset generation, and
+benchmarks are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Accepts an existing Generator (returned as-is), an int seed, or ``None``
+    (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used where parallel or per-component streams must not correlate (e.g. one
+    stream per synthetic cluster).
+    """
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=n)]

@@ -1,0 +1,48 @@
+"""Argument validation helpers shared across the public API.
+
+Validation failures raise ``ValueError``/``TypeError`` with the offending
+argument named, so misuse surfaces at the call site instead of deep inside a
+search loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_matrix(x: np.ndarray, name: str, dtype=np.float32) -> np.ndarray:
+    """Validate a 2-D numeric matrix and return it as C-contiguous ``dtype``."""
+    arr = np.ascontiguousarray(x, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or Inf")
+    return arr
+
+
+def check_vector(x: np.ndarray, name: str, dim: int | None = None, dtype=np.float32) -> np.ndarray:
+    """Validate a 1-D vector (optionally of fixed dimension)."""
+    arr = np.ascontiguousarray(x, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"{name} must have dimension {dim}, got {arr.shape[0]}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or Inf")
+    return arr
+
+
+def check_positive(value: float, name: str, strict: bool = True) -> None:
+    """Require ``value`` > 0 (or >= 0 when ``strict`` is False)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_fraction(value: float, name: str) -> None:
+    """Require ``value`` in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

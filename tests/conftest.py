@@ -1,0 +1,61 @@
+"""Shared fixtures: a small cross-modal workload and prebuilt indexes.
+
+Session-scoped fixtures amortize index construction across the suite; tests
+that mutate a graph must take a fresh copy (see ``fresh_hnsw``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CrossModalConfig, make_cross_modal_dataset
+from repro.evalx import compute_ground_truth
+from repro.graphs import HNSW
+
+
+TINY = CrossModalConfig(
+    n_base=400, n_train=80, n_test=40, dim=16, n_clusters=8,
+    cluster_std=0.15, gap_scale=0.9, query_spread=0.4, n_facets=2,
+    metric="cosine", n_id_queries=20, seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_ds():
+    """A 400-point cross-modal dataset with OOD queries."""
+    return make_cross_modal_dataset("tiny", TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_gt(tiny_ds):
+    """Exact top-30 ground truth for the tiny dataset's test queries."""
+    return compute_ground_truth(tiny_ds.base, tiny_ds.test_queries, 30, tiny_ds.metric)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_gt(tiny_ds):
+    """Exact top-30 ground truth for the tiny dataset's train queries."""
+    return compute_ground_truth(tiny_ds.base, tiny_ds.train_queries, 30, tiny_ds.metric)
+
+
+@pytest.fixture(scope="session")
+def shared_hnsw(tiny_ds):
+    """Read-only single-layer HNSW over the tiny dataset.
+
+    Tests must NOT mutate this index; use ``fresh_hnsw`` for that.
+    """
+    return HNSW(tiny_ds.base, tiny_ds.metric, M=8, ef_construction=40,
+                single_layer=True, seed=3)
+
+
+@pytest.fixture
+def fresh_hnsw(tiny_ds):
+    """A freshly built HNSW safe to mutate (NGFix/RFix/maintenance tests)."""
+    return HNSW(tiny_ds.base, tiny_ds.metric, M=8, ef_construction=40,
+                single_layer=True, seed=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

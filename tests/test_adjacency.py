@@ -1,0 +1,155 @@
+"""AdjacencyStore: base/extra edge semantics, eviction, maintenance hooks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import EH_INFINITE, AdjacencyStore
+
+
+@pytest.fixture
+def store():
+    return AdjacencyStore(6)
+
+
+class TestBaseEdges:
+    def test_add_and_read(self, store):
+        assert store.add_base_edge(0, 1)
+        assert store.base_neighbors(0) == [1]
+        assert store.neighbors(0).tolist() == [1]
+
+    def test_duplicate_and_self_loop_refused(self, store):
+        store.add_base_edge(0, 1)
+        assert not store.add_base_edge(0, 1)
+        assert not store.add_base_edge(2, 2)
+
+    def test_set_base_neighbors_drops_self(self, store):
+        store.set_base_neighbors(0, [0, 1, 2])
+        assert store.base_neighbors(0) == [1, 2]
+
+    def test_directed(self, store):
+        store.add_base_edge(0, 1)
+        assert store.base_neighbors(1) == []
+
+
+class TestExtraEdges:
+    def test_add_with_eh(self, store):
+        assert store.add_extra_edge(0, 1, eh=5.0)
+        assert store.extra_neighbors(0) == {1: 5.0}
+        assert store.extra_degree(0) == 1
+
+    def test_readd_keeps_larger_eh(self, store):
+        store.add_extra_edge(0, 1, eh=5.0)
+        assert not store.add_extra_edge(0, 1, eh=3.0)
+        assert store.extra_neighbors(0)[1] == 5.0
+        store.add_extra_edge(0, 1, eh=9.0)
+        assert store.extra_neighbors(0)[1] == 9.0
+
+    def test_extra_refused_if_base_exists(self, store):
+        store.add_base_edge(0, 1)
+        assert not store.add_extra_edge(0, 1, eh=2.0)
+
+    def test_neighbors_combined(self, store):
+        store.add_base_edge(0, 1)
+        store.add_extra_edge(0, 2, eh=1.0)
+        assert sorted(store.neighbors(0).tolist()) == [1, 2]
+        assert store.out_degree(0) == 2
+
+    def test_remove_extra(self, store):
+        store.add_extra_edge(0, 1, eh=1.0)
+        assert store.remove_extra_edge(0, 1)
+        assert not store.remove_extra_edge(0, 1)
+        assert store.extra_degree(0) == 0
+
+
+class TestEviction:
+    def test_evicts_lowest_eh(self, store):
+        store.add_extra_edge(0, 1, eh=5.0)
+        store.add_extra_edge(0, 2, eh=1.0)
+        store.add_extra_edge(0, 3, eh=3.0)
+        v, eh = store.evict_lowest_eh(0)
+        assert (v, eh) == (2, 1.0)
+
+    def test_infinite_eh_protected(self, store):
+        store.add_extra_edge(0, 1, eh=EH_INFINITE)
+        assert store.evict_lowest_eh(0) is None
+        store.add_extra_edge(0, 2, eh=7.0)
+        assert store.evict_lowest_eh(0) == (2, 7.0)
+        assert store.extra_neighbors(0) == {1: EH_INFINITE}
+
+
+class TestCacheInvalidation:
+    def test_neighbors_cache_refreshes(self, store):
+        store.add_base_edge(0, 1)
+        first = store.neighbors(0)
+        store.add_extra_edge(0, 2, eh=1.0)
+        assert sorted(store.neighbors(0).tolist()) == [1, 2]
+        assert first.tolist() == [1]  # old snapshot unchanged
+
+
+class TestAggregates:
+    def test_counts(self, store):
+        store.add_base_edge(0, 1)
+        store.add_base_edge(1, 2)
+        store.add_extra_edge(0, 3, eh=1.0)
+        assert store.n_base_edges() == 2
+        assert store.n_extra_edges() == 1
+        assert store.average_out_degree() == pytest.approx(3 / 6)
+
+    def test_index_size_accounting(self, store):
+        store.add_base_edge(0, 1)
+        store.add_extra_edge(0, 2, eh=1.0)
+        # 4 bytes per base edge, 6 per extra edge (id + 16-bit EH)
+        assert store.index_size_bytes() == 4 + 6
+
+
+class TestMaintenanceHooks:
+    def test_grow(self, store):
+        store.grow(2)
+        assert store.n_nodes == 8
+        store.add_base_edge(7, 0)
+        assert store.base_neighbors(7) == [0]
+
+    def test_grow_negative_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.grow(-1)
+
+    def test_drop_extra_fraction_all(self, store, rng):
+        for v in (1, 2, 3, 4):
+            store.add_extra_edge(0, v, eh=float(v))
+        removed = store.drop_extra_fraction(1.0, rng)
+        assert removed == 4
+        assert store.extra_degree(0) == 0
+
+    def test_drop_extra_fraction_resets_eh(self, store, rng):
+        for v in (1, 2, 3, 4):
+            store.add_extra_edge(0, v, eh=float(v))
+        store.drop_extra_fraction(0.5, rng)
+        assert store.extra_degree(0) == 2
+        assert all(eh == 0.0 for eh in store.extra_neighbors(0).values())
+
+    def test_drop_fraction_validated(self, store, rng):
+        with pytest.raises(ValueError):
+            store.drop_extra_fraction(1.5, rng)
+
+    def test_remove_node_edges(self, store):
+        store.add_base_edge(0, 1)
+        store.add_base_edge(1, 2)
+        store.add_extra_edge(2, 1, eh=1.0)
+        store.add_base_edge(1, 3)
+        store.remove_node_edges({1})
+        assert store.base_neighbors(0) == []
+        assert store.base_neighbors(1) == []
+        assert store.extra_neighbors(2) == {}
+
+    def test_copy_independent(self, store):
+        store.add_base_edge(0, 1)
+        clone = store.copy()
+        clone.add_base_edge(0, 2)
+        clone.add_extra_edge(1, 3, eh=1.0)
+        assert store.base_neighbors(0) == [1]
+        assert store.extra_degree(1) == 0
+
+
+def test_invalid_node_count():
+    with pytest.raises(ValueError):
+        AdjacencyStore(0)

@@ -1,0 +1,167 @@
+"""NSG, TauMNG, RoarGraph, BruteForceIndex, and exact toy graphs."""
+
+import numpy as np
+import pytest
+
+from repro.distances import Metric, pairwise_distances
+from repro.evalx import compute_ground_truth, recall_at_k
+from repro.graphs import (
+    NSG,
+    BruteForceIndex,
+    RoarGraph,
+    TauMNG,
+    exact_mrng,
+    exact_rng,
+)
+from repro.graphs.exact import is_strongly_connected
+from repro.graphs.search import greedy_search
+
+
+def _recall_of(index, queries, gt, k, ef):
+    found = np.vstack([index.search(q, k=k, ef=ef).ids[:k] for q in queries])
+    return recall_at_k(found, gt.top(k).ids)
+
+
+class TestNSG:
+    @pytest.fixture(scope="class")
+    def nsg(self, tiny_ds):
+        return NSG(tiny_ds.base, tiny_ds.metric, R=12, L=30, knn_k=12)
+
+    def test_degree_bounded(self, nsg):
+        for u in range(nsg.size):
+            # +1: the spanning-connect step may add one link past R
+            assert len(nsg.adjacency.base_neighbors(u)) <= nsg.R + 1
+
+    def test_connected_from_medoid(self, nsg):
+        neighbors = [nsg.adjacency.neighbors(u).tolist() for u in range(nsg.size)]
+        assert is_strongly_connected(neighbors, nsg.size, start=nsg.medoid())
+
+    def test_recall_on_base_points(self, tiny_ds, nsg):
+        queries = tiny_ds.base[:25]
+        gt = compute_ground_truth(tiny_ds.base, queries, 5, tiny_ds.metric)
+        assert _recall_of(nsg, queries, gt, 5, 40) > 0.95
+
+    def test_reasonable_recall_on_ood(self, tiny_ds, tiny_gt, nsg):
+        assert _recall_of(nsg, tiny_ds.test_queries, tiny_gt, 10, 80) > 0.7
+
+    def test_invalid_params(self, tiny_ds):
+        with pytest.raises(ValueError):
+            NSG(tiny_ds.base, tiny_ds.metric, R=0)
+
+
+class TestTauMNG:
+    def test_builds_and_searches(self, tiny_ds, tiny_gt):
+        index = TauMNG(tiny_ds.base, tiny_ds.metric, R=12, L=30, knn_k=12,
+                       tau=0.01)
+        assert _recall_of(index, tiny_ds.test_queries, tiny_gt, 10, 80) > 0.6
+
+    def test_tau_zero_matches_nsg_edges(self, tiny_ds):
+        nsg = NSG(tiny_ds.base, tiny_ds.metric, R=10, L=25, knn_k=10)
+        tmng = TauMNG(tiny_ds.base, tiny_ds.metric, R=10, L=25, knn_k=10, tau=0.0)
+        same = sum(nsg.adjacency.base_neighbors(u) == tmng.adjacency.base_neighbors(u)
+                   for u in range(nsg.size))
+        assert same > 0.9 * nsg.size  # identical up to tie-breaking noise
+
+    def test_larger_tau_more_edges(self, tiny_ds):
+        small = TauMNG(tiny_ds.base, tiny_ds.metric, R=16, L=25, knn_k=10, tau=0.0)
+        large = TauMNG(tiny_ds.base, tiny_ds.metric, R=16, L=25, knn_k=10, tau=0.05)
+        assert large.adjacency.n_base_edges() >= small.adjacency.n_base_edges()
+
+    def test_negative_tau_rejected(self, tiny_ds):
+        with pytest.raises(ValueError):
+            TauMNG(tiny_ds.base, tiny_ds.metric, tau=-1.0)
+
+    def test_suggest_tau(self):
+        assert TauMNG.suggest_tau(np.array([0.1, 0.2, 0.3])) == pytest.approx(0.1)
+
+
+class TestRoarGraph:
+    @pytest.fixture(scope="class")
+    def roar(self, tiny_ds):
+        return RoarGraph(tiny_ds.base, tiny_ds.metric, tiny_ds.train_queries,
+                         M=12, n_query_neighbors=16, knn_k=8)
+
+    def test_connected(self, roar):
+        neighbors = [roar.adjacency.neighbors(u).tolist() for u in range(roar.size)]
+        assert is_strongly_connected(neighbors, roar.size, start=roar.medoid())
+
+    def test_recall_on_ood(self, tiny_ds, tiny_gt, roar):
+        assert _recall_of(roar, tiny_ds.test_queries, tiny_gt, 10, 80) > 0.75
+
+    def test_query_pivots_receive_edges(self, tiny_ds, roar):
+        """Pivot nodes (historical queries' 1-NNs) must carry out-edges."""
+        gt = compute_ground_truth(tiny_ds.base, tiny_ds.train_queries, 1,
+                                  tiny_ds.metric)
+        pivots = set(int(i) for i in gt.ids[:, 0])
+        assert all(len(roar.adjacency.base_neighbors(p)) > 0 for p in pivots)
+
+    def test_invalid_params(self, tiny_ds):
+        with pytest.raises(ValueError):
+            RoarGraph(tiny_ds.base, tiny_ds.metric, tiny_ds.train_queries, M=0)
+
+
+class TestBruteForce:
+    def test_exact(self, tiny_ds, tiny_gt):
+        index = BruteForceIndex(tiny_ds.base, tiny_ds.metric)
+        assert _recall_of(index, tiny_ds.test_queries, tiny_gt, 10, 10) == 1.0
+
+    def test_k_clamped_to_corpus(self):
+        index = BruteForceIndex(np.zeros((3, 2), dtype=np.float32), Metric.L2)
+        r = index.search(np.zeros(2, dtype=np.float32), k=10)
+        assert len(r.ids) == 3
+
+    def test_invalid_k(self):
+        index = BruteForceIndex(np.zeros((3, 2), dtype=np.float32), Metric.L2)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(2, dtype=np.float32), k=0)
+
+
+class TestExactGraphs:
+    def _points(self, n=40, d=2, seed=0):
+        return np.random.default_rng(seed).standard_normal((n, d)).astype(np.float32)
+
+    def test_rng_lune_property(self):
+        pts = self._points()
+        edges = exact_rng(pts)
+        d = pairwise_distances(pts, pts, Metric.L2)
+        for u in range(len(pts)):
+            for v in edges[u]:
+                duv = d[u, v]
+                lune = (np.maximum(d[u], d[v]) < duv)
+                lune[u] = lune[v] = False
+                assert not lune.any()
+
+    def test_rng_symmetric(self):
+        edges = exact_rng(self._points())
+        for u in range(len(edges)):
+            for v in edges[u]:
+                assert u in edges[v]
+
+    def test_mrng_superset_of_nothing_and_nonempty(self):
+        out = exact_mrng(self._points())
+        assert all(len(row) >= 1 for row in out)
+
+    def test_mrng_greedy_search_finds_exact_nn_of_base_points(self):
+        """Fu et al.'s guarantee: for query == base point, greedy search on
+        MRNG from any start finds it."""
+        pts = self._points(n=30)
+        out = exact_mrng(pts)
+        from repro.distances import DistanceComputer
+        dc = DistanceComputer(pts, Metric.L2)
+
+        def neighbors(u):
+            return np.array(out[u], dtype=np.int64)
+
+        for target in range(0, 30, 5):
+            r = greedy_search(dc, neighbors, [0], pts[target], k=1, ef=1)
+            assert r.ids[0] == target
+
+    def test_mrng_subgraph_of_rng_candidates(self):
+        """Every RNG edge appears in MRNG out-lists (MRNG prunes less per
+        node ordering, RNG lune edges always survive)."""
+        pts = self._points(n=25)
+        rng_edges = exact_rng(pts)
+        mrng = exact_mrng(pts)
+        for u in range(25):
+            for v in rng_edges[u]:
+                assert v in mrng[u]

@@ -1,0 +1,135 @@
+"""BitMatrix: bit-level semantics and transitive closure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.bitset import BitMatrix
+
+
+def test_set_get_clear():
+    m = BitMatrix(8)
+    assert not m.get(3, 5)
+    m.set(3, 5)
+    assert m.get(3, 5)
+    assert not m.get(5, 3)
+    m.clear(3, 5)
+    assert not m.get(3, 5)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        BitMatrix(-1)
+
+
+def test_zero_size_allowed():
+    m = BitMatrix(0)
+    assert m.size == 0
+    assert m.all_set()
+
+
+def test_or_row_reports_change():
+    m = BitMatrix(4)
+    m.set(0, 1)
+    m.set(1, 2)
+    assert m.or_row(0, 1) is True  # row 0 gains bit 2
+    assert m.get(0, 2)
+    assert m.or_row(0, 1) is False  # idempotent
+
+
+def test_row_ones_and_count():
+    m = BitMatrix(10)
+    for j in (0, 3, 9):
+        m.set(2, j)
+    assert m.row_ones(2) == [0, 3, 9]
+    assert m.count_row(2) == 3
+    assert m.count_row(0) == 0
+
+
+def test_all_set_with_active_subset():
+    m = BitMatrix(5)
+    for i in (1, 3):
+        for j in (1, 3):
+            m.set(i, j)
+    assert m.all_set(active=[1, 3])
+    assert not m.all_set()
+
+
+def test_warshall_closure_chain():
+    # 0 -> 1 -> 2 -> 3 must close to 0 -> {2, 3}.
+    m = BitMatrix(4)
+    for i in range(4):
+        m.set(i, i)
+    m.set(0, 1)
+    m.set(1, 2)
+    m.set(2, 3)
+    m.warshall_closure()
+    assert m.get(0, 3)
+    assert m.get(1, 3)
+    assert not m.get(3, 0)
+
+
+def test_warshall_closure_cycle():
+    m = BitMatrix(3)
+    for i in range(3):
+        m.set(i, i)
+    m.set(0, 1)
+    m.set(1, 2)
+    m.set(2, 0)
+    m.warshall_closure()
+    assert m.all_set()
+
+
+def test_to_from_array_roundtrip():
+    arr = np.array([[1, 0, 1], [0, 1, 0], [1, 1, 0]], dtype=bool)
+    m = BitMatrix.from_array(arr)
+    assert np.array_equal(m.to_array(), arr)
+
+
+def test_from_array_rejects_nonsquare():
+    with pytest.raises(ValueError):
+        BitMatrix.from_array(np.zeros((2, 3), dtype=bool))
+
+
+def test_copy_is_independent():
+    m = BitMatrix(3)
+    m.set(0, 1)
+    c = m.copy()
+    c.set(1, 2)
+    assert not m.get(1, 2)
+    assert c.get(0, 1)
+
+
+def test_equality():
+    a, b = BitMatrix(3), BitMatrix(3)
+    a.set(0, 1)
+    assert a != b
+    b.set(0, 1)
+    assert a == b
+    assert a != BitMatrix(4)
+    assert a.__eq__(42) is NotImplemented
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 12), st.data())
+def test_warshall_matches_numpy_closure(n, data):
+    """Warshall closure over int-bitset rows equals boolean matrix powering."""
+    edges = data.draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=3 * n))
+    m = BitMatrix(n)
+    dense = np.eye(n, dtype=bool)
+    for i in range(n):
+        m.set(i, i)
+    for u, v in edges:
+        m.set(u, v)
+        dense[u, v] = True
+    m.warshall_closure()
+    # reference closure: repeated boolean multiplication to fixpoint
+    ref = dense.copy()
+    while True:
+        nxt = ref | (ref @ ref)
+        if np.array_equal(nxt, ref):
+            break
+        ref = nxt
+    assert np.array_equal(m.to_array(), ref)

@@ -1,0 +1,75 @@
+"""Entry-point strategies and the MultiEntryIndex wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import recall_at_k
+from repro.graphs import CentroidsEntry, MedoidEntry, MultiEntryIndex, RandomEntry
+from repro.graphs.base import medoid_id
+
+
+class TestMedoidEntry:
+    def test_matches_medoid_id(self, shared_hnsw, tiny_ds):
+        strategy = MedoidEntry(shared_hnsw.dc)
+        q = shared_hnsw.dc.prepare_query(tiny_ds.test_queries[0])
+        assert strategy.entries(shared_hnsw.dc, q) == [medoid_id(shared_hnsw.dc)]
+
+
+class TestRandomEntry:
+    def test_count_and_range(self, shared_hnsw, tiny_ds):
+        strategy = RandomEntry(n_entries=4, seed=0)
+        q = shared_hnsw.dc.prepare_query(tiny_ds.test_queries[0])
+        ids = strategy.entries(shared_hnsw.dc, q)
+        assert len(ids) == 4
+        assert len(set(ids)) == 4
+        assert all(0 <= i < shared_hnsw.size for i in ids)
+
+    def test_redrawn_per_query(self, shared_hnsw, tiny_ds):
+        strategy = RandomEntry(n_entries=3, seed=0)
+        q = shared_hnsw.dc.prepare_query(tiny_ds.test_queries[0])
+        assert (strategy.entries(shared_hnsw.dc, q)
+                != strategy.entries(shared_hnsw.dc, q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomEntry(n_entries=0)
+
+
+class TestCentroidsEntry:
+    def test_entries_near_query(self, shared_hnsw, tiny_ds):
+        strategy = CentroidsEntry(shared_hnsw.dc, n_centroids=10, n_probe=2,
+                                  seed=0)
+        q = shared_hnsw.dc.prepare_query(tiny_ds.test_queries[0])
+        ids = strategy.entries(shared_hnsw.dc, q)
+        assert 1 <= len(ids) <= 2
+        # the chosen anchors are the closest anchors to the query
+        all_d = shared_hnsw.dc.to_query(strategy._anchor_ids, q)
+        best = strategy._anchor_ids[np.argmin(all_d)]
+        assert int(best) in ids
+
+    def test_routing_cost_counted(self, shared_hnsw, tiny_ds):
+        strategy = CentroidsEntry(shared_hnsw.dc, n_centroids=10, seed=0)
+        q = shared_hnsw.dc.prepare_query(tiny_ds.test_queries[0])
+        shared_hnsw.dc.reset_ndc()
+        strategy.entries(shared_hnsw.dc, q)
+        assert shared_hnsw.dc.reset_ndc() == len(strategy._anchor_ids)
+
+
+class TestMultiEntryIndex:
+    def test_search_quality_with_centroid_entries(self, shared_hnsw, tiny_ds,
+                                                  tiny_gt):
+        wrapped = MultiEntryIndex(
+            shared_hnsw, CentroidsEntry(shared_hnsw.dc, n_centroids=8,
+                                        n_probe=2, seed=0))
+        found = np.vstack([wrapped.search(q, k=10, ef=40).ids[:10]
+                           for q in tiny_ds.test_queries])
+        assert recall_at_k(found, tiny_gt.top(10).ids) > 0.8
+
+    def test_delegates_dc_and_adjacency(self, shared_hnsw):
+        wrapped = MultiEntryIndex(shared_hnsw, MedoidEntry(shared_hnsw.dc))
+        assert wrapped.dc is shared_hnsw.dc
+        assert wrapped.adjacency is shared_hnsw.adjacency
+
+    def test_default_ef(self, shared_hnsw, tiny_ds):
+        wrapped = MultiEntryIndex(shared_hnsw, MedoidEntry(shared_hnsw.dc))
+        assert len(wrapped.search(tiny_ds.test_queries[0], k=5).ids) == 5

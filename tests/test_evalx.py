@@ -1,0 +1,211 @@
+"""Ground truth, accuracy metrics, sweep harness, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.distances import Metric, pairwise_distances
+from repro.evalx import (
+    GroundTruth,
+    compute_ground_truth,
+    evaluate_index,
+    ef_for_recall,
+    format_table,
+    ndc_at_rderr,
+    qps_at_recall,
+    recall_at_k,
+    recall_per_query,
+    rderr_at_k,
+    sweep,
+)
+from repro.evalx.metrics import rderr_per_query
+from repro.evalx.runner import OperatingPoint
+from repro.graphs import BruteForceIndex
+
+
+class TestGroundTruth:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((50, 6)).astype(np.float32)
+        queries = rng.standard_normal((7, 6)).astype(np.float32)
+        for metric in Metric:
+            gt = compute_ground_truth(base, queries, 5, metric, batch_size=3)
+            d = pairwise_distances(queries, base, metric)
+            expected = np.argsort(d, axis=1, kind="stable")[:, :5]
+            assert np.array_equal(gt.ids, expected)
+            assert np.allclose(gt.distances,
+                               np.take_along_axis(d, expected, 1), atol=1e-5)
+
+    def test_distances_sorted(self):
+        rng = np.random.default_rng(1)
+        gt = compute_ground_truth(rng.standard_normal((40, 4)),
+                                  rng.standard_normal((5, 4)), 10, Metric.L2)
+        assert (np.diff(gt.distances, axis=1) >= -1e-9).all()
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError, match="exceeds base size"):
+            compute_ground_truth(np.zeros((3, 2)), np.zeros((1, 2)), 5, Metric.L2)
+
+    def test_top_view(self):
+        gt = compute_ground_truth(np.random.default_rng(0).standard_normal((20, 3)),
+                                  np.zeros((2, 3)), 10, Metric.L2)
+        top = gt.top(4)
+        assert top.ids.shape == (2, 4)
+        with pytest.raises(ValueError):
+            gt.top(11)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth(np.zeros((2, 3), dtype=np.int64), np.zeros((2, 2)),
+                        Metric.L2, 3)
+
+
+class TestRecall:
+    def test_perfect(self):
+        ids = np.array([[0, 1, 2], [3, 4, 5]])
+        assert recall_at_k(ids, ids) == 1.0
+
+    def test_order_insensitive(self):
+        gt = np.array([[0, 1, 2]])
+        found = np.array([[2, 0, 1]])
+        assert recall_at_k(found, gt) == 1.0
+
+    def test_partial(self):
+        gt = np.array([[0, 1, 2, 3]])
+        found = np.array([[0, 1, 9, 9]])
+        assert recall_at_k(found, gt) == 0.5
+
+    def test_found_may_be_wider(self):
+        gt = np.array([[0, 1]])
+        found = np.array([[0, 1, 5, 6]])  # only first k columns count
+        assert recall_at_k(found, gt) == 1.0
+
+    def test_per_query_vector(self):
+        gt = np.array([[0, 1], [2, 3]])
+        found = np.array([[0, 9], [2, 3]])
+        assert recall_per_query(found, gt).tolist() == [0.5, 1.0]
+
+    def test_query_count_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros((2, 2), int), np.zeros((3, 2), int))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(3, int), np.zeros((1, 3), int))
+
+
+class TestRderr:
+    def test_zero_when_exact(self):
+        d = np.array([[1.0, 2.0, 3.0]])
+        assert rderr_at_k(d, d) == 0.0
+
+    def test_positive_when_worse(self):
+        exact = np.array([[1.0, 2.0]])
+        found = np.array([[1.0, 4.0]])
+        assert rderr_at_k(found, exact) == pytest.approx(0.5)
+
+    def test_clamped_nonnegative(self):
+        # numerical jitter below exact distances must not produce negatives
+        exact = np.array([[1.0, 2.0]])
+        found = np.array([[0.9999999, 2.0]])
+        assert rderr_at_k(found, exact) >= 0.0
+
+    def test_sorted_internally(self):
+        exact = np.array([[1.0, 2.0]])
+        found = np.array([[2.0, 1.0]])
+        assert rderr_at_k(found, exact) == 0.0
+
+    def test_per_query(self):
+        exact = np.array([[1.0], [1.0]])
+        found = np.array([[1.0], [2.0]])
+        assert rderr_per_query(found, exact).tolist() == [0.0, 1.0]
+
+    def test_too_few_columns(self):
+        with pytest.raises(ValueError):
+            rderr_at_k(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((100, 6)).astype(np.float32)
+        queries = rng.standard_normal((10, 6)).astype(np.float32)
+        gt = compute_ground_truth(base, queries, 5, Metric.L2)
+        return BruteForceIndex(base, Metric.L2), queries, gt
+
+    def test_bruteforce_perfect_recall(self, setup):
+        index, queries, gt = setup
+        point = evaluate_index(index, queries, gt, k=5, ef=5)
+        assert point.recall == 1.0
+        assert point.rderr < 1e-5  # float32 search vs float64 ground truth
+        assert point.ndc_per_query == 100.0
+        assert point.qps > 0
+
+    def test_ef_below_k_rejected(self, setup):
+        index, queries, gt = setup
+        with pytest.raises(ValueError):
+            evaluate_index(index, queries, gt, k=5, ef=3)
+
+    def test_sweep_stops_at_saturation(self, setup):
+        index, queries, gt = setup
+        points = sweep(index, queries, gt, 5, ef_values=[5, 10, 20])
+        assert len(points) == 1  # brute force saturates immediately
+
+    def test_query_count_mismatch(self, setup):
+        index, queries, gt = setup
+        with pytest.raises(ValueError):
+            evaluate_index(index, queries[:3], gt, k=5, ef=5)
+
+
+class TestInterpolation:
+    def _curve(self):
+        return [
+            OperatingPoint(ef=10, recall=0.80, rderr=0.020, qps=1000, ndc_per_query=100, elapsed_s=0.01),
+            OperatingPoint(ef=20, recall=0.90, rderr=0.010, qps=500, ndc_per_query=200, elapsed_s=0.02),
+            OperatingPoint(ef=40, recall=1.00, rderr=0.000, qps=250, ndc_per_query=400, elapsed_s=0.04),
+        ]
+
+    def test_qps_exact_point(self):
+        assert qps_at_recall(self._curve(), 0.90) == 500
+
+    def test_qps_interpolated(self):
+        v = qps_at_recall(self._curve(), 0.95)
+        assert 250 < v < 500
+
+    def test_qps_unreachable(self):
+        curve = self._curve()[:2]
+        assert qps_at_recall(curve, 0.99) is None
+
+    def test_qps_below_curve_start(self):
+        assert qps_at_recall(self._curve(), 0.5) == 1000
+
+    def test_ndc_at_rderr(self):
+        v = ndc_at_rderr(self._curve(), 0.010)
+        assert v == 200
+
+    def test_ndc_interpolated(self):
+        v = ndc_at_rderr(self._curve(), 0.005)
+        assert 200 < v < 400
+
+    def test_ef_for_recall(self):
+        assert ef_for_recall(self._curve(), 0.85) == 20
+        assert ef_for_recall(self._curve(), 0.99) == 40
+        assert ef_for_recall(self._curve()[:1], 0.99) is None
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", None]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+        assert "2.5" in out and "x" in out and "-" in out
+
+    def test_large_numbers_grouped(self):
+        out = format_table(["n"], [[12345.0]])
+        assert "12,345" in out
+
+    def test_nan(self):
+        out = format_table(["n"], [[float("nan")]])
+        assert "nan" in out

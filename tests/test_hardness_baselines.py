@@ -1,0 +1,92 @@
+"""Hardness-measure baselines and the EH-validity comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.hardness_baselines import (
+    distance_hardness,
+    effort_hardness,
+    eh_hardness,
+    epsilon_hardness,
+    hardness_correlations,
+)
+from repro.evalx import compute_ground_truth
+
+
+class TestDistanceHardness:
+    def test_is_first_gt_column(self, tiny_gt):
+        assert np.array_equal(distance_hardness(tiny_gt),
+                              tiny_gt.distances[:, 0])
+
+
+class TestEpsilonHardness:
+    def test_at_least_one(self, tiny_ds, tiny_gt):
+        values = epsilon_hardness(tiny_ds.base, tiny_ds.test_queries,
+                                  tiny_gt, k=10)
+        assert (values >= 1.0).all()
+
+    def test_larger_eps_counts_more(self, tiny_ds, tiny_gt):
+        small = epsilon_hardness(tiny_ds.base, tiny_ds.test_queries, tiny_gt,
+                                 k=10, eps=0.05)
+        large = epsilon_hardness(tiny_ds.base, tiny_ds.test_queries, tiny_gt,
+                                 k=10, eps=0.5)
+        assert (large >= small).all()
+
+    def test_k_bounds(self, tiny_ds, tiny_gt):
+        with pytest.raises(ValueError):
+            epsilon_hardness(tiny_ds.base, tiny_ds.test_queries, tiny_gt,
+                             k=tiny_gt.ids.shape[1] + 1)
+
+    def test_isolated_query_scores_low(self):
+        """A query whose top-k stands clear scores ~1; a crowded one more."""
+        rng = np.random.default_rng(0)
+        base = np.vstack([
+            np.zeros((5, 4)),                      # tight cluster near q1
+            10 + 0.01 * rng.standard_normal((50, 4)),  # dense far cluster
+        ]).astype(np.float32)
+        queries = np.array([[0.0, 0, 0, 0], [10.0, 10, 10, 10]],
+                           dtype=np.float32)
+        gt = compute_ground_truth(base, queries, 5, "l2")
+        values = epsilon_hardness(base, queries, gt, k=5, eps=0.3)
+        assert values[1] > values[0]
+
+
+class TestEffortHardness:
+    def test_finite_for_easy_queries(self, tiny_ds, shared_hnsw, tiny_gt):
+        values = effort_hardness(shared_hnsw, tiny_ds.base[:5],
+                                 compute_ground_truth(
+                                     tiny_ds.base, tiny_ds.base[:5], 10,
+                                     tiny_ds.metric),
+                                 k=10, target_recall=0.9)
+        assert np.isfinite(values).all()
+
+    def test_monotone_grid(self, tiny_ds, shared_hnsw, tiny_gt):
+        """Effort is reported from a fixed grid, so values are grid NDCs."""
+        values = effort_hardness(shared_hnsw, tiny_ds.test_queries[:10],
+                                 tiny_gt.take(range(10)), k=10)
+        assert values.shape == (10,)
+        assert (values[np.isfinite(values)] > 0).all()
+
+
+class TestEhHardness:
+    def test_shape_and_positive(self, shared_hnsw, tiny_gt):
+        values = eh_hardness(shared_hnsw, tiny_gt, k=10)
+        assert values.shape == (tiny_gt.n_queries,)
+        assert (values >= 0).all()
+
+    def test_requires_enough_gt_columns(self, shared_hnsw, tiny_gt):
+        with pytest.raises(ValueError, match="K_max"):
+            eh_hardness(shared_hnsw, tiny_gt.top(10), k=10, hard_ratio=3.0)
+
+
+class TestCorrelations:
+    def test_eh_is_most_predictive(self, tiny_ds, shared_hnsw, tiny_gt):
+        """The paper's Sec. 5.2 validity claim: EH correlates with actual
+        accuracy at least as strongly as naive hardness proxies."""
+        corr = hardness_correlations(shared_hnsw, tiny_ds.base,
+                                     tiny_ds.test_queries, tiny_gt,
+                                     k=10, ef=15)
+        assert set(corr) == {"distance", "epsilon", "effort", "escape_hardness"}
+        assert corr["escape_hardness"] < -0.3  # strongly negative
+        assert corr["escape_hardness"] <= corr["distance"] + 0.05
+        assert corr["escape_hardness"] <= corr["epsilon"] + 0.05

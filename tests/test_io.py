@@ -1,0 +1,69 @@
+"""Index persistence: save/load roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro import FixConfig, NGFixer, load_index, save_index
+from repro.core import IndexMaintainer
+from repro.io import FrozenIndex
+
+
+class TestRoundtrip:
+    def test_hnsw_roundtrip_identical_search(self, tiny_ds, shared_hnsw,
+                                             tmp_path):
+        path = save_index(shared_hnsw, tmp_path / "hnsw")
+        loaded = load_index(path)
+        assert isinstance(loaded, FrozenIndex)
+        for q in tiny_ds.test_queries[:10]:
+            a = shared_hnsw.search(q, k=5, ef=30)
+            b = loaded.search(q, k=5, ef=30)
+            assert a.ids.tolist() == b.ids.tolist()
+
+    def test_npz_suffix_appended(self, shared_hnsw, tmp_path):
+        path = save_index(shared_hnsw, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_fixer_roundtrip_preserves_extra_edges(self, tiny_ds, fresh_hnsw,
+                                                   tmp_path):
+        fixer = NGFixer(fresh_hnsw, FixConfig(k=8, preprocess="exact"))
+        fixer.fit(tiny_ds.train_queries[:30])
+        path = save_index(fixer, tmp_path / "fixed")
+        loaded = load_index(path)
+        assert (loaded.adjacency.n_extra_edges()
+                == fixer.adjacency.n_extra_edges())
+        assert loaded.entry == fixer.entry
+        # EH tags survive (including infinities from RFix)
+        for u in range(loaded.adjacency.n_nodes):
+            assert (loaded.adjacency.extra_neighbors(u)
+                    == fixer.adjacency.extra_neighbors(u))
+
+    def test_tombstones_survive(self, tiny_ds, fresh_hnsw, tmp_path):
+        fresh_hnsw.adjacency.tombstones.update({3, 7})
+        path = save_index(fresh_hnsw, tmp_path / "tomb")
+        loaded = load_index(path)
+        assert loaded.adjacency.tombstones == {3, 7}
+        result = loaded.search(tiny_ds.base[3], k=5, ef=30)
+        assert 3 not in result.ids
+
+    def test_loaded_index_supports_further_fixing(self, tiny_ds, fresh_hnsw,
+                                                  tmp_path):
+        path = save_index(fresh_hnsw, tmp_path / "base")
+        loaded = load_index(path)
+        fixer = NGFixer(loaded, FixConfig(k=8, preprocess="exact"))
+        fixer.fit(tiny_ds.train_queries[:10])
+        assert fixer.adjacency.n_extra_edges() > 0
+
+    def test_save_rejects_unknown_object(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_index("not an index", tmp_path / "x")
+
+    def test_load_rejects_bad_version(self, shared_hnsw, tmp_path):
+        import json
+        path = save_index(shared_hnsw, tmp_path / "v")
+        payload = dict(np.load(path))
+        payload["meta"] = np.frombuffer(
+            json.dumps({"format_version": 99}).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="format"):
+            load_index(path)

@@ -1,0 +1,86 @@
+"""IVF-Flat baseline and the FixConfig auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro import IVFFlat
+from repro.evalx import compute_ground_truth, recall_at_k, tune_fix_config
+
+
+class TestIVFFlat:
+    @pytest.fixture(scope="class")
+    def ivf(self, tiny_ds):
+        return IVFFlat(tiny_ds.base, tiny_ds.metric, n_lists=16, seed=0)
+
+    def test_lists_partition_corpus(self, ivf, tiny_ds):
+        all_ids = np.concatenate(ivf.lists)
+        assert sorted(all_ids.tolist()) == list(range(tiny_ds.n))
+
+    def test_full_probe_is_exact(self, ivf, tiny_ds, tiny_gt):
+        found = np.vstack([
+            ivf.search(q, k=10, n_probe=ivf.n_lists).ids[:10]
+            for q in tiny_ds.test_queries])
+        assert recall_at_k(found, tiny_gt.top(10).ids) == 1.0
+
+    def test_recall_grows_with_probes(self, ivf, tiny_ds, tiny_gt):
+        recalls = []
+        for n_probe in (1, 4, 16):
+            rows = []
+            for q in tiny_ds.test_queries:
+                ids = ivf.search(q, k=10, n_probe=n_probe).ids[:10]
+                padded = np.full(10, -1, dtype=np.int64)
+                padded[: len(ids)] = ids  # small cells can return < k
+                rows.append(padded)
+            recalls.append(recall_at_k(np.vstack(rows), tiny_gt.top(10).ids))
+        assert recalls[0] <= recalls[1] <= recalls[2]
+
+    def test_ndc_counted_including_routing(self, ivf, tiny_ds):
+        ivf.dc.reset_ndc()
+        ivf.search(tiny_ds.test_queries[0], k=5, n_probe=2)
+        ndc = ivf.dc.reset_ndc()
+        assert ndc >= ivf.n_lists  # routing cost at minimum
+
+    def test_ef_maps_to_probes(self, ivf, tiny_ds):
+        r_small = ivf.search(tiny_ds.test_queries[0], k=10, ef=10)
+        r_large = ivf.search(tiny_ds.test_queries[0], k=10, ef=160)
+        assert len(r_small.ids) == len(r_large.ids) == 10
+
+    def test_harness_compatible(self, ivf, tiny_ds, tiny_gt):
+        from repro.evalx import evaluate_index
+        point = evaluate_index(ivf, tiny_ds.test_queries, tiny_gt.top(10),
+                               k=10, ef=80)
+        assert 0 < point.recall <= 1
+
+    def test_validation(self, tiny_ds):
+        with pytest.raises(ValueError):
+            IVFFlat(tiny_ds.base, tiny_ds.metric, n_lists=0)
+
+
+class TestTuner:
+    def test_returns_best_and_all(self, tiny_ds, shared_hnsw, tiny_gt):
+        best, results = tune_fix_config(
+            shared_hnsw, tiny_ds.train_queries[:40], tiny_ds.test_queries,
+            tiny_gt, k=10, target_recall=0.9,
+            degree_grid=(4, 16), ef_values=[10, 20, 40, 80])
+        assert best["max_extra_degree"] in (4, 16)
+        assert len(results) == 2
+        assert all(r.extra_edges >= 0 for r in results)
+        # the original index was never mutated (tuning clones)
+        assert shared_hnsw.adjacency.n_extra_edges() == 0
+
+    def test_size_budget_respected(self, tiny_ds, shared_hnsw, tiny_gt):
+        best, results = tune_fix_config(
+            shared_hnsw, tiny_ds.train_queries[:40], tiny_ds.test_queries,
+            tiny_gt, k=10, target_recall=0.9, max_extra_bytes=10_000,
+            degree_grid=(2, 24), ef_values=[10, 20, 40, 80])
+        feasible = [r for r in results if r.feasible]
+        if feasible:
+            chosen = [r for r in results if r.params == best][0]
+            assert chosen.feasible
+
+    def test_unreachable_target_falls_back(self, tiny_ds, shared_hnsw, tiny_gt):
+        best, results = tune_fix_config(
+            shared_hnsw, tiny_ds.train_queries[:10], tiny_ds.test_queries,
+            tiny_gt, k=10, target_recall=1.01,  # impossible
+            degree_grid=(4,), ef_values=[10])
+        assert best["max_extra_degree"] == 4

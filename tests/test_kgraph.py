@@ -1,0 +1,68 @@
+"""k-NN graph builders: exact brute force and NN-descent."""
+
+import numpy as np
+import pytest
+
+from repro.distances import Metric, pairwise_distances
+from repro.graphs.kgraph import brute_force_knn_graph, nn_descent_knn_graph
+
+
+def _recall(approx, exact):
+    hits = 0
+    for a, e in zip(approx, exact):
+        hits += len(set(a.tolist()) & set(e.tolist()))
+    return hits / exact.size
+
+
+class TestBruteForce:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((40, 5)).astype(np.float32)
+        knn = brute_force_knn_graph(data, 4, Metric.L2, batch_size=7)
+        d = pairwise_distances(data, data, Metric.L2)
+        np.fill_diagonal(d, np.inf)
+        expected = np.argsort(d, axis=1, kind="stable")[:, :4]
+        assert np.array_equal(knn, expected)
+
+    def test_self_excluded(self):
+        data = np.random.default_rng(1).standard_normal((20, 3)).astype(np.float32)
+        knn = brute_force_knn_graph(data, 5, Metric.COSINE)
+        for i in range(20):
+            assert i not in knn[i]
+
+    def test_k_bounds(self):
+        data = np.zeros((5, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            brute_force_knn_graph(data, 5, Metric.L2)
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_all_metrics(self, metric):
+        data = np.random.default_rng(2).standard_normal((30, 4)).astype(np.float32)
+        knn = brute_force_knn_graph(data, 3, metric)
+        assert knn.shape == (30, 3)
+
+
+class TestNNDescent:
+    def test_high_recall_vs_exact(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((300, 8)).astype(np.float32)
+        exact = brute_force_knn_graph(data, 10, Metric.L2)
+        approx = nn_descent_knn_graph(data, 10, Metric.L2, seed=0)
+        assert _recall(approx, exact) > 0.80
+
+    def test_shape_and_no_self(self):
+        data = np.random.default_rng(4).standard_normal((50, 4)).astype(np.float32)
+        knn = nn_descent_knn_graph(data, 5, Metric.L2, seed=0)
+        assert knn.shape == (50, 5)
+        for i in range(50):
+            assert i not in knn[i]
+
+    def test_deterministic(self):
+        data = np.random.default_rng(5).standard_normal((60, 4)).astype(np.float32)
+        a = nn_descent_knn_graph(data, 4, Metric.L2, seed=9)
+        b = nn_descent_knn_graph(data, 4, Metric.L2, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            nn_descent_knn_graph(np.zeros((4, 2), dtype=np.float32), 4, Metric.L2)

@@ -1,0 +1,149 @@
+"""Insertion/deletion maintenance (Sec. 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixConfig, IndexMaintainer, NGFixer
+from repro.evalx import compute_ground_truth, recall_at_k
+from repro.graphs import HNSW, NSG
+
+
+def _fixer(tiny_ds, n_base=300):
+    base = HNSW(tiny_ds.base[:n_base], tiny_ds.metric, M=8, ef_construction=40,
+                single_layer=True, seed=3)
+    fixer = NGFixer(base, FixConfig(k=8, max_extra_degree=10, preprocess="exact"))
+    fixer.fit(tiny_ds.train_queries[:40])
+    return fixer
+
+
+def _recall(fixer, queries, k, ef):
+    alive = np.ones(fixer.dc.size, dtype=bool)
+    if fixer.adjacency.tombstones:
+        alive[list(fixer.adjacency.tombstones)] = False
+    if hasattr(fixer, "_deleted"):
+        alive[list(fixer._deleted)] = False
+    data = fixer.dc.data
+    from repro.distances import pairwise_distances
+    d = pairwise_distances(np.asarray(queries), data, fixer.dc.metric)
+    d[:, ~alive] = np.inf
+    gt_ids = np.argsort(d, axis=1, kind="stable")[:, :k]
+    found = np.vstack([fixer.search(q, k=k, ef=ef).ids[:k] for q in queries])
+    return recall_at_k(found, gt_ids)
+
+
+class TestInsertion:
+    def test_insert_grows_and_finds(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40])
+        ids = maintainer.insert(tiny_ds.base[300:320])
+        assert ids == list(range(300, 320))
+        assert fixer.dc.size == 320
+        r = fixer.search(tiny_ds.base[310], k=1, ef=30)
+        assert r.ids[0] == 310
+
+    def test_insert_requires_capable_index(self, tiny_ds):
+        base = NSG(tiny_ds.base[:200], tiny_ds.metric, R=10, L=25, knn_k=10)
+        fixer = NGFixer(base, FixConfig(k=6, preprocess="exact"))
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10])
+        with pytest.raises(TypeError, match="insertion"):
+            maintainer.insert(tiny_ds.base[300:301])
+
+    def test_partial_rebuild_drops_and_refixes(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40], seed=0)
+        report = maintainer.partial_rebuild(proportion=0.5, drop_fraction=0.3)
+        assert report["dropped_extra_edges"] > 0
+        assert report["history_used"] == 20
+        assert report["seconds"] > 0
+
+    def test_partial_rebuild_recovers_quality(self, tiny_ds):
+        """After inserting 20% new points, partial rebuild improves test
+        recall over no rebuild (Fig. 18 shape)."""
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40], seed=0)
+        maintainer.insert(tiny_ds.base[300:360])
+        before = _recall(fixer, tiny_ds.test_queries, k=8, ef=16)
+        maintainer.partial_rebuild(proportion=1.0, drop_fraction=0.2)
+        after = _recall(fixer, tiny_ds.test_queries, k=8, ef=16)
+        assert after >= before - 0.02  # never materially worse ...
+        # ... and the extra-edge pool has been refreshed:
+        assert fixer.adjacency.n_extra_edges() > 0
+
+    def test_fraction_validation(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10])
+        with pytest.raises(ValueError):
+            maintainer.partial_rebuild(proportion=1.5)
+
+
+class TestDeletion:
+    def test_lazy_deletion_excludes_from_results(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40],
+                                     compact_threshold=0.5)
+        victim = int(fixer.search(tiny_ds.test_queries[0], k=1, ef=20).ids[0])
+        compacted = maintainer.delete([victim])
+        assert not compacted
+        r = fixer.search(tiny_ds.test_queries[0], k=5, ef=20)
+        assert victim not in r.ids.tolist()
+
+    def test_threshold_triggers_compaction(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40],
+                                     compact_threshold=0.01, seed=0)
+        victims = list(range(10))
+        assert maintainer.delete(victims)
+        assert not fixer.adjacency.tombstones
+        # no edges point at deleted nodes anymore
+        for u in range(fixer.dc.size):
+            for v in fixer.adjacency.neighbors(u).tolist():
+                assert v not in victims
+
+    def test_compaction_repair_preserves_recall(self, tiny_ds):
+        """NGFix-repair after physical deletion keeps recall close to the
+        pre-deletion level (Fig. 19 shape)."""
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40],
+                                     compact_threshold=0.5, seed=0)
+        rng = np.random.default_rng(0)
+        victims = rng.choice(300, size=45, replace=False).tolist()
+        maintainer.delete(victims)
+        report = maintainer.compact(repair=True)
+        assert report["deleted"] == 45
+        assert report["repaired_regions"] == 45
+        fixer._deleted = set(victims)
+        recall = _recall(fixer, tiny_ds.test_queries, k=8, ef=24)
+        assert recall > 0.55
+
+    def test_compact_without_repair_is_faster_but_weaker_or_equal(self, tiny_ds):
+        f1, f2 = _fixer(tiny_ds), _fixer(tiny_ds)
+        victims = list(range(30))
+        for f, repair in ((f1, True), (f2, False)):
+            m = IndexMaintainer(f, tiny_ds.train_queries[:40],
+                                compact_threshold=0.5, seed=0)
+            m.delete(victims)
+            m.compact(repair=repair)
+            f._deleted = set(victims)
+        r_repair = _recall(f1, tiny_ds.test_queries, k=8, ef=24)
+        r_plain = _recall(f2, tiny_ds.test_queries, k=8, ef=24)
+        assert r_repair >= r_plain - 0.05
+
+    def test_delete_out_of_range(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10])
+        with pytest.raises(IndexError):
+            maintainer.delete([10_000])
+
+    def test_compact_empty_is_noop(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10])
+        assert maintainer.compact()["deleted"] == 0
+
+    def test_entry_point_moved_if_deleted(self, tiny_ds):
+        fixer = _fixer(tiny_ds)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10],
+                                     compact_threshold=0.5, seed=0)
+        entry = fixer.entry
+        maintainer.delete([entry])
+        maintainer.compact(repair=False)
+        assert fixer.entry != entry

@@ -1,0 +1,180 @@
+"""NGFix (Algorithm 3): edge budget, reachability guarantee, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.core.escape_hardness import escape_hardness
+from repro.core.ngfix import (
+    enforce_extra_budget,
+    ngfix_query,
+    random_connect_fix,
+    rng_overlay_fix,
+)
+from repro.distances import DistanceComputer, Metric
+from repro.graphs.adjacency import EH_INFINITE, AdjacencyStore
+
+
+def _setup(n=20, dim=4, seed=0, edges=()):
+    """A DistanceComputer plus AdjacencyStore with the given base edges."""
+    data = np.random.default_rng(seed).standard_normal((n, dim)).astype(np.float32)
+    dc = DistanceComputer(data, Metric.L2)
+    adjacency = AdjacencyStore(n)
+    for u, v in edges:
+        adjacency.add_base_edge(u, v)
+    return dc, adjacency
+
+
+def _eh_for(adjacency, dc, query_vec, k, K_max):
+    from repro.evalx import compute_ground_truth
+    gt = compute_ground_truth(dc.data, query_vec[None, :], K_max, dc.metric)
+    return escape_hardness(adjacency.neighbors, gt.ids[0], k)
+
+
+class TestNgfixQuery:
+    def test_disconnected_neighborhood_becomes_reachable(self):
+        dc, adjacency = _setup()
+        query = dc.data[:8].mean(axis=0)
+        eh = _eh_for(adjacency, dc, query, k=6, K_max=12)
+        assert eh.n_unreachable_pairs() > 0
+        outcome = ngfix_query(adjacency, dc, eh, max_extra_degree=10)
+        assert outcome.fully_reachable
+        # Re-measuring on the fixed graph: everything reachable within K_max.
+        eh2 = _eh_for(adjacency, dc, query, k=6, K_max=12)
+        assert eh2.n_unreachable_pairs() == 0
+
+    def test_edge_budget_theorem4(self):
+        """At most 2(k-1) directed edges per query (Theorem 4)."""
+        for seed in range(5):
+            dc, adjacency = _setup(seed=seed)
+            query = dc.data[:10].mean(axis=0)
+            k = 8
+            eh = _eh_for(adjacency, dc, query, k=k, K_max=16)
+            outcome = ngfix_query(adjacency, dc, eh, max_extra_degree=50)
+            assert len(outcome.edges_added) <= 2 * (k - 1)
+
+    def test_noop_when_already_reachable(self):
+        # complete digraph over the NN set -> nothing to add
+        dc, adjacency = _setup(edges=[(u, v) for u in range(20)
+                                      for v in range(20) if u != v])
+        query = dc.data[0]
+        eh = _eh_for(adjacency, dc, query, k=5, K_max=10)
+        outcome = ngfix_query(adjacency, dc, eh)
+        assert outcome.edges_added == []
+        assert outcome.fully_reachable
+
+    def test_edges_are_extra_and_tagged(self):
+        dc, adjacency = _setup()
+        query = dc.data[:6].mean(axis=0)
+        eh = _eh_for(adjacency, dc, query, k=5, K_max=10)
+        ngfix_query(adjacency, dc, eh, max_extra_degree=10)
+        assert adjacency.n_base_edges() == 0
+        assert adjacency.n_extra_edges() > 0
+        for u in range(20):
+            for v, tag in adjacency.extra_neighbors(u).items():
+                assert np.isfinite(tag)
+
+    def test_degree_budget_enforced(self):
+        dc, adjacency = _setup()
+        for seed in range(4):  # several queries stress the same nodes
+            query = np.random.default_rng(seed).standard_normal(4).astype(np.float32)
+            eh = _eh_for(adjacency, dc, query, k=8, K_max=16)
+            ngfix_query(adjacency, dc, eh, max_extra_degree=3)
+        for u in range(20):
+            assert adjacency.extra_degree(u) <= 3
+
+    def test_mst_order_prefers_short_edges(self):
+        """On an empty graph the added edges form short links: every added
+        edge is no longer than the longest possible NN-pair distance, and the
+        shortest NN pair is always connected."""
+        dc, adjacency = _setup()
+        query = dc.data[:6].mean(axis=0)
+        eh = _eh_for(adjacency, dc, query, k=6, K_max=12)
+        outcome = ngfix_query(adjacency, dc, eh, max_extra_degree=10)
+        nn = eh.nn_ids[:6].tolist()
+        pair_d = {(a, b): dc.between(a, b) for a in nn for b in nn if a != b}
+        shortest = min(pair_d, key=pair_d.get)
+        assert shortest in outcome.edges_added or shortest[::-1] in outcome.edges_added
+
+
+class TestEviction:
+    def test_eh_strategy_drops_lowest(self):
+        dc, adjacency = _setup()
+        adjacency.add_extra_edge(0, 1, eh=1.0)
+        adjacency.add_extra_edge(0, 2, eh=9.0)
+        adjacency.add_extra_edge(0, 3, eh=5.0)
+        evicted = enforce_extra_budget(adjacency, dc, 0, max_extra_degree=2,
+                                       strategy="eh")
+        assert evicted == [(0, 1)]
+
+    def test_infinite_eh_survives_all_strategies(self):
+        for strategy in ("eh", "random", "mrng"):
+            dc, adjacency = _setup()
+            adjacency.add_extra_edge(0, 1, eh=EH_INFINITE)
+            for v in (2, 3, 4, 5):
+                adjacency.add_extra_edge(0, v, eh=1.0)
+            enforce_extra_budget(adjacency, dc, 0, max_extra_degree=2,
+                                 strategy=strategy,
+                                 rng=np.random.default_rng(0))
+            assert 1 in adjacency.extra_neighbors(0)
+
+    def test_random_strategy_respects_budget(self):
+        dc, adjacency = _setup()
+        for v in range(1, 8):
+            adjacency.add_extra_edge(0, v, eh=float(v))
+        enforce_extra_budget(adjacency, dc, 0, 3, "random",
+                             rng=np.random.default_rng(0))
+        assert adjacency.extra_degree(0) == 3
+
+    def test_mrng_strategy_prunes_long_edges(self):
+        # collinear targets: RNG occlusion keeps only the nearest
+        data = np.array([[0.0], [1.0], [2.0], [3.0], [4.0]], dtype=np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        adjacency = AdjacencyStore(5)
+        for v in (1, 2, 3, 4):
+            adjacency.add_extra_edge(0, v, eh=2.0)
+        enforce_extra_budget(adjacency, dc, 0, 2, "mrng")
+        assert 1 in adjacency.extra_neighbors(0)
+        assert 4 not in adjacency.extra_neighbors(0)
+
+    def test_unknown_strategy(self):
+        dc, adjacency = _setup()
+        adjacency.add_extra_edge(0, 1, eh=1.0)
+        adjacency.add_extra_edge(0, 2, eh=1.0)
+        with pytest.raises(ValueError):
+            enforce_extra_budget(adjacency, dc, 0, 1, "bogus")
+
+    def test_noop_under_budget(self):
+        dc, adjacency = _setup()
+        adjacency.add_extra_edge(0, 1, eh=1.0)
+        assert enforce_extra_budget(adjacency, dc, 0, 5, "eh") == []
+
+
+class TestAblationFixers:
+    def test_rng_overlay_adds_more_edges_than_ngfix(self):
+        """Fig. 13(c): reconstructing the RNG links more edges than NGFix."""
+        dc1, adj1 = _setup(n=30)
+        dc2, adj2 = _setup(n=30)
+        query = dc1.data[:10].mean(axis=0)
+        eh = _eh_for(adj1, dc1, query, k=8, K_max=16)
+        ng = ngfix_query(adj1, dc1, eh, max_extra_degree=20)
+        overlay = rng_overlay_fix(adj2, dc2, eh.nn_ids[:8], max_extra_degree=20)
+        assert len(overlay.edges_added) > len(ng.edges_added)
+
+    def test_random_connect_reaches_but_disordered(self):
+        dc, adjacency = _setup()
+        query = dc.data[:8].mean(axis=0)
+        eh = _eh_for(adjacency, dc, query, k=6, K_max=12)
+        outcome = random_connect_fix(adjacency, dc, eh, max_extra_degree=20,
+                                     seed=0)
+        assert outcome.fully_reachable
+        assert len(outcome.edges_added) > 0
+
+    def test_random_connect_deterministic(self):
+        dc1, adj1 = _setup()
+        dc2, adj2 = _setup()
+        query = dc1.data[:8].mean(axis=0)
+        eh1 = _eh_for(adj1, dc1, query, k=6, K_max=12)
+        eh2 = _eh_for(adj2, dc2, query, k=6, K_max=12)
+        o1 = random_connect_fix(adj1, dc1, eh1, seed=3)
+        o2 = random_connect_fix(adj2, dc2, eh2, seed=3)
+        assert o1.edges_added == o2.edges_added

@@ -1,0 +1,110 @@
+"""NSW baseline index and the explain_query diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro import NSW, FixConfig, NGFixer, explain_query
+from repro.evalx import compute_ground_truth, recall_at_k
+
+
+class TestNSW:
+    @pytest.fixture(scope="class")
+    def nsw(self, tiny_ds):
+        return NSW(tiny_ds.base, tiny_ds.metric, f=8, ef_construction=30,
+                   seed=0)
+
+    def test_bidirectional_links(self, nsw):
+        for u in range(nsw.size):
+            for v in nsw.adjacency.base_neighbors(u):
+                assert u in nsw.adjacency.base_neighbors(v)
+
+    def test_recall_on_base_points(self, tiny_ds, nsw):
+        queries = tiny_ds.base[:25]
+        gt = compute_ground_truth(tiny_ds.base, queries, 5, tiny_ds.metric)
+        found = np.vstack([nsw.search(q, k=5, ef=40).ids for q in queries])
+        assert recall_at_k(found, gt.ids) > 0.9
+
+    def test_ood_recall(self, tiny_ds, tiny_gt, nsw):
+        found = np.vstack([nsw.search(q, k=10, ef=80).ids[:10]
+                           for q in tiny_ds.test_queries])
+        assert recall_at_k(found, tiny_gt.top(10).ids) > 0.7
+
+    def test_denser_than_hnsw(self, tiny_ds, nsw, shared_hnsw):
+        """No pruning -> NSW degree exceeds f (reverse links pile up)."""
+        assert nsw.adjacency.average_out_degree() >= nsw.f
+
+    def test_validation(self, tiny_ds):
+        with pytest.raises(ValueError):
+            NSW(tiny_ds.base, tiny_ds.metric, f=0)
+
+
+class TestExplainQuery:
+    def test_fields_present(self, shared_hnsw, tiny_ds):
+        report = explain_query(shared_hnsw, tiny_ds.test_queries[0], k=8)
+        assert report["verdict"] in ("easy", "needs-ngfix", "needs-rfix")
+        assert report["recommended_ef"] >= 8
+        assert 0 <= report["qng"]["avg_reachable_fraction"] <= 1
+        assert report["phase1"]["entry"] >= 0
+
+    def test_easy_query_on_fixed_graph(self, tiny_ds, fresh_hnsw):
+        """After fixing a query's own neighborhood, explain says 'easy'."""
+        fixer = NGFixer(fresh_hnsw, FixConfig(k=8, preprocess="exact",
+                                              max_extra_degree=24))
+        fixer.fit(tiny_ds.train_queries)
+        reports = [explain_query(fixer, q, k=8)
+                   for q in tiny_ds.train_queries[:20]]
+        assert sum(r["verdict"] == "easy" for r in reports) >= 18
+
+    def test_hard_query_detected_on_unfixed_graph(self, shared_hnsw, tiny_ds):
+        reports = [explain_query(shared_hnsw, q, k=8)
+                   for q in tiny_ds.test_queries]
+        assert any(r["verdict"] != "easy" for r in reports)
+
+    def test_recommended_ef_sufficient_when_easy(self, shared_hnsw, tiny_ds,
+                                                 tiny_gt):
+        """Corollary 1 in action: for an 'easy' verdict the recommended ef
+        recovers the full top-k."""
+        for i, q in enumerate(tiny_ds.test_queries):
+            report = explain_query(shared_hnsw, q, k=8)
+            if report["verdict"] != "easy":
+                continue
+            result = shared_hnsw.search(q, k=8, ef=report["recommended_ef"])
+            truth = set(tiny_gt.ids[i][:8].tolist())
+            recall = len(set(result.ids.tolist()) & truth) / 8
+            assert recall >= 0.75
+
+    def test_ndc_not_charged_for_diagnosis_gt(self, shared_hnsw, tiny_ds):
+        shared_hnsw.dc.reset_ndc()
+        explain_query(shared_hnsw, tiny_ds.test_queries[0], k=8)
+        # only the phase-1 probe search counts, not the brute-force pass
+        assert shared_hnsw.dc.ndc < shared_hnsw.dc.size
+
+    def test_invalid_k(self, shared_hnsw, tiny_ds):
+        with pytest.raises(ValueError):
+            explain_query(shared_hnsw, tiny_ds.test_queries[0], k=0)
+
+
+class TestFilteredSearch:
+    def test_where_filters_payloads(self, tiny_ds):
+        from repro.store import VectorStore
+        store = VectorStore(dim=tiny_ds.dim, metric=tiny_ds.metric, M=8,
+                            ef_construction=40)
+        store.add(tiny_ds.base,
+                  payloads=[{"parity": i % 2} for i in range(tiny_ds.n)])
+        store.build()
+        hits = store.search(tiny_ds.test_queries[0], k=5,
+                            where=lambda p: p["parity"] == 0)
+        assert len(hits) == 5
+        assert all(h[2]["parity"] == 0 for h in hits)
+        assert all(h[0] % 2 == 0 for h in hits)
+
+    def test_overly_selective_filter_returns_fewer(self, tiny_ds):
+        from repro.store import VectorStore
+        store = VectorStore(dim=tiny_ds.dim, metric=tiny_ds.metric, M=8,
+                            ef_construction=40)
+        store.add(tiny_ds.base,
+                  payloads=[{"keep": i == 7} for i in range(tiny_ds.n)])
+        store.build()
+        hits = store.search(tiny_ds.test_queries[0], k=5,
+                            where=lambda p: p["keep"])
+        assert len(hits) <= 1

@@ -1,0 +1,170 @@
+"""Edge-selection rules: RNG/MRNG, alpha, tau, backfill, random."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances import DistanceComputer, Metric, pairwise_distances
+from repro.graphs.pruning import (
+    alpha_prune,
+    mrng_prune,
+    random_prune,
+    rng_prune,
+    rng_prune_backfill,
+    tau_prune,
+)
+
+
+def _dc(points):
+    return DistanceComputer(np.asarray(points, dtype=np.float32), Metric.L2)
+
+
+class TestRngPrune:
+    def test_occluded_candidate_dropped(self):
+        # 1 sits between 0 and 2 on a line: edge 0->2 is occluded by 0->1.
+        dc = _dc([[0.0], [1.0], [2.0]])
+        kept = rng_prune(dc, 0, [1, 2], max_degree=5)
+        assert kept == [1]
+
+    def test_spread_candidates_kept(self):
+        # Two candidates in opposite directions both survive.
+        dc = _dc([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0]])
+        kept = rng_prune(dc, 0, [1, 2], max_degree=5)
+        assert sorted(kept) == [1, 2]
+
+    def test_respects_max_degree(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((30, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        kept = rng_prune(dc, 0, list(range(1, 30)), max_degree=4)
+        assert len(kept) <= 4
+
+    def test_nearest_always_kept(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((20, 3)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        d = dc.many_between(np.arange(1, 20), 0)
+        nearest = int(np.arange(1, 20)[np.argmin(d)])
+        kept = rng_prune(dc, 0, list(range(1, 20)), max_degree=8)
+        assert nearest in kept
+
+    def test_self_and_duplicates_ignored(self):
+        dc = _dc([[0.0], [1.0], [2.0]])
+        kept = rng_prune(dc, 0, [0, 1, 1], max_degree=5)
+        assert kept == [1]
+
+    def test_empty_candidates(self):
+        dc = _dc([[0.0], [1.0]])
+        assert rng_prune(dc, 0, [], max_degree=3) == []
+
+    def test_mrng_is_alias(self):
+        assert mrng_prune is rng_prune
+
+    def test_angle_property(self):
+        """Kept RNG edges from a common point subtend > 60 degrees."""
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((40, 5)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        kept = rng_prune(dc, 0, list(range(1, 40)), max_degree=15)
+        u = data[0]
+        for i, a in enumerate(kept):
+            for b in kept[i + 1:]:
+                va, vb = data[a] - u, data[b] - u
+                cos = va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb))
+                assert cos < 0.5 + 1e-5  # angle > 60 degrees
+
+
+class TestAlphaPrune:
+    def test_alpha1_equals_rng(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((25, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        cands = list(range(1, 25))
+        assert alpha_prune(dc, 0, cands, 10, alpha=1.0) == rng_prune(dc, 0, cands, 10)
+
+    def test_larger_alpha_keeps_more(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((40, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        cands = list(range(1, 40))
+        base = len(alpha_prune(dc, 0, cands, 40, alpha=1.0))
+        relaxed = len(alpha_prune(dc, 0, cands, 40, alpha=2.0))
+        assert relaxed >= base
+
+    def test_alpha_below_one_rejected(self):
+        dc = _dc([[0.0], [1.0]])
+        with pytest.raises(ValueError):
+            alpha_prune(dc, 0, [1], 3, alpha=0.5)
+
+
+class TestTauPrune:
+    def test_tau0_equals_rng(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((25, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        cands = list(range(1, 25))
+        assert tau_prune(dc, 0, cands, 12, tau=0.0) == rng_prune(dc, 0, cands, 12)
+
+    def test_larger_tau_keeps_more(self):
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((40, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        cands = list(range(1, 40))
+        strict = len(tau_prune(dc, 0, cands, 40, tau=0.0))
+        relaxed = len(tau_prune(dc, 0, cands, 40, tau=1.0))
+        assert relaxed >= strict
+
+    def test_negative_tau_rejected(self):
+        dc = _dc([[0.0], [1.0]])
+        with pytest.raises(ValueError):
+            tau_prune(dc, 0, [1], 3, tau=-0.1)
+
+
+class TestBackfill:
+    def test_fills_to_budget(self):
+        # Collinear points: RNG keeps only the nearest; backfill tops up.
+        dc = _dc([[0.0], [1.0], [2.0], [3.0], [4.0]])
+        plain = rng_prune(dc, 0, [1, 2, 3, 4], max_degree=3)
+        filled = rng_prune_backfill(dc, 0, [1, 2, 3, 4], max_degree=3)
+        assert len(plain) == 1
+        assert len(filled) == 3
+
+    def test_backfill_prefers_nearest(self):
+        dc = _dc([[0.0], [1.0], [2.0], [3.0]])
+        filled = rng_prune_backfill(dc, 0, [1, 2, 3], max_degree=2)
+        assert filled == [1, 2]
+
+    def test_no_fill_needed(self):
+        dc = _dc([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0]])
+        assert sorted(rng_prune_backfill(dc, 0, [1, 2], 2)) == [1, 2]
+
+
+class TestRandomPrune:
+    def test_within_budget_identity(self):
+        assert random_prune([1, 2, 3], 5, seed=0) == [1, 2, 3]
+
+    def test_respects_budget(self):
+        out = random_prune(list(range(100)), 7, seed=0)
+        assert len(out) == 7
+        assert len(set(out)) == 7
+
+    def test_deterministic_with_seed(self):
+        assert random_prune(list(range(50)), 5, seed=1) == \
+            random_prune(list(range(50)), 5, seed=1)
+
+    def test_dedups(self):
+        assert random_prune([1, 1, 2], 5, seed=0) == [1, 2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 30), st.integers(1, 10), st.integers(0, 100))
+def test_rng_prune_invariants(n, max_degree, seed):
+    """Kept list: unique, within budget, subset of candidates, u excluded."""
+    data = np.random.default_rng(seed).standard_normal((n, 4)).astype(np.float32)
+    dc = DistanceComputer(data, Metric.L2)
+    cands = list(range(n))
+    kept = rng_prune(dc, 0, cands, max_degree)
+    assert len(kept) <= max_degree
+    assert len(set(kept)) == len(kept)
+    assert 0 not in kept
+    assert set(kept) <= set(cands)

@@ -1,0 +1,91 @@
+"""QNG extraction and connectivity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.qng import (
+    average_reachable,
+    build_qng,
+    isolated_points,
+    qng_connectivity_report,
+    qng_edge_count,
+)
+
+
+def _neighbors_from(adj: dict):
+    def fn(u):
+        return np.array(adj.get(u, []), dtype=np.int64)
+    return fn
+
+
+class TestBuildQng:
+    def test_induces_subgraph(self):
+        # global graph: 10->20->30, 20->99 (99 outside the NN set)
+        fn = _neighbors_from({10: [20], 20: [30, 99], 30: []})
+        local = build_qng(fn, np.array([10, 20, 30]))
+        assert local == [[1], [2], []]
+
+    def test_rank_order_preserved(self):
+        fn = _neighbors_from({5: [7], 7: [5]})
+        local = build_qng(fn, np.array([7, 5]))  # 7 is rank 0
+        assert local == [[1], [0]]
+
+    def test_duplicates_rejected(self):
+        fn = _neighbors_from({})
+        with pytest.raises(ValueError):
+            build_qng(fn, np.array([1, 1]))
+
+    def test_edge_count(self):
+        fn = _neighbors_from({0: [1, 2], 1: [2], 2: []})
+        assert qng_edge_count(build_qng(fn, np.array([0, 1, 2]))) == 3
+
+
+class TestReachability:
+    def test_fully_connected(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        assert average_reachable(adj) == 3.0
+
+    def test_isolated(self):
+        adj = [[], [], []]
+        assert average_reachable(adj) == 1.0
+
+    def test_chain(self):
+        adj = [[1], [2], []]
+        # reach counts: 3, 2, 1 -> mean 2
+        assert average_reachable(adj) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_reachable([])
+
+    def test_isolated_points_counts_both_directions(self):
+        adj = [[1], [], []]  # node 2 has no in/out edges; node 1 has in-edge
+        assert isolated_points(adj) == 1
+
+
+class TestReport:
+    def test_fields(self, shared_hnsw, tiny_gt):
+        report = qng_connectivity_report(shared_hnsw.adjacency.neighbors,
+                                         tiny_gt.ids[0][:10])
+        assert report["k"] == 10
+        assert 0 <= report["reachable_fraction"] <= 1
+        assert report["n_edges"] >= 0
+
+    def test_hard_ood_queries_have_weaker_qng_than_base_points(
+            self, tiny_ds, shared_hnsw, tiny_gt):
+        """Paper Sec. 4: the QNG of OOD queries is less connected than that
+        of points inside the base distribution (on average)."""
+        from repro.evalx import compute_ground_truth
+        base_gt = compute_ground_truth(tiny_ds.base, tiny_ds.base[:30], 10,
+                                       tiny_ds.metric)
+        ood = np.mean([
+            qng_connectivity_report(shared_hnsw.adjacency.neighbors,
+                                    tiny_gt.ids[i][:10])["reachable_fraction"]
+            for i in range(len(tiny_ds.test_queries))
+        ])
+        base = np.mean([
+            qng_connectivity_report(shared_hnsw.adjacency.neighbors,
+                                    base_gt.ids[i][:10])["reachable_fraction"]
+            for i in range(30)
+        ])
+        assert ood < base

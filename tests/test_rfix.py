@@ -1,0 +1,107 @@
+"""RFix (Algorithm 4): reachability repair for phase-1 failures."""
+
+import numpy as np
+import pytest
+
+from repro.core.rfix import rfix_query, search_reaches_vicinity
+from repro.distances import DistanceComputer, Metric
+from repro.evalx import compute_ground_truth
+from repro.graphs.adjacency import EH_INFINITE, AdjacencyStore
+from repro.graphs.search import greedy_search
+
+
+def _two_arm_world():
+    """Entry cluster at origin with two 'arms'; the graph only links the
+    wrong arm, so greedy search toward the right arm stalls.
+
+    Layout (2-D): origin cluster {0,1,2}; wrong arm {3,4}; right arm {5,6,7}
+    placed opposite.  Base edges chain origin -> wrong arm only.
+    """
+    pts = np.array([
+        [0.0, 0.0], [0.2, 0.1], [0.1, -0.2],       # origin cluster
+        [2.0, 2.0], [3.0, 3.0],                      # wrong arm
+        [-2.0, -2.0], [-3.0, -3.0], [-3.2, -2.8],    # right arm
+    ], dtype=np.float32)
+    dc = DistanceComputer(pts, Metric.L2)
+    adjacency = AdjacencyStore(len(pts))
+    chain = [(0, 1), (1, 0), (1, 2), (2, 1), (0, 3), (3, 0), (3, 4), (4, 3),
+             (5, 6), (6, 5), (6, 7), (7, 6)]
+    for u, v in chain:
+        adjacency.add_base_edge(u, v)
+    return dc, adjacency
+
+
+class TestReachesVicinity:
+    def test_boundary(self):
+        assert search_reaches_vicinity(1.0, 1.0)
+        assert search_reaches_vicinity(0.5, 1.0)
+        assert not search_reaches_vicinity(1.1, 1.0)
+
+
+class TestRfix:
+    def test_repairs_stalled_search(self):
+        dc, adjacency = _two_arm_world()
+        query = np.array([-3.0, -3.0], dtype=np.float32)
+        gt = compute_ground_truth(dc.data, query[None, :], 3, Metric.L2)
+        # Sanity: search from entry 0 cannot reach the right arm.
+        before = greedy_search(dc, adjacency.neighbors, [0], query, k=1, ef=4)
+        assert before.ids[0] not in gt.ids[0]
+
+        outcome = rfix_query(adjacency, dc, query, gt.ids[0], gt.distances[0],
+                             entry_point=0, search_ef=4, max_extra_degree=8)
+        assert outcome.needed_fix
+        assert outcome.reached_vicinity
+        after = greedy_search(dc, adjacency.neighbors, [0], query, k=3, ef=4)
+        assert set(after.ids.tolist()) & set(gt.ids[0].tolist())
+
+    def test_added_edges_have_infinite_eh(self):
+        dc, adjacency = _two_arm_world()
+        query = np.array([-3.0, -3.0], dtype=np.float32)
+        gt = compute_ground_truth(dc.data, query[None, :], 3, Metric.L2)
+        outcome = rfix_query(adjacency, dc, query, gt.ids[0], gt.distances[0],
+                             entry_point=0, search_ef=4, max_extra_degree=8)
+        assert outcome.edges_added
+        for u, v in outcome.edges_added:
+            assert adjacency.extra_neighbors(u)[v] == EH_INFINITE
+
+    def test_noop_when_search_already_reaches(self):
+        dc, adjacency = _two_arm_world()
+        query = np.array([2.5, 2.5], dtype=np.float32)  # wrong arm IS reachable
+        gt = compute_ground_truth(dc.data, query[None, :], 2, Metric.L2)
+        outcome = rfix_query(adjacency, dc, query, gt.ids[0], gt.distances[0],
+                             entry_point=0, search_ef=4)
+        assert not outcome.needed_fix
+        assert outcome.edges_added == []
+        assert outcome.rounds == 0
+
+    def test_degree_budget_stops_fixing(self):
+        dc, adjacency = _two_arm_world()
+        query = np.array([-3.0, -3.0], dtype=np.float32)
+        gt = compute_ground_truth(dc.data, query[None, :], 3, Metric.L2)
+        outcome = rfix_query(adjacency, dc, query, gt.ids[0], gt.distances[0],
+                             entry_point=0, search_ef=4, max_extra_degree=0)
+        assert not outcome.reached_vicinity
+        assert outcome.edges_added == []
+
+    def test_max_rounds_respected(self):
+        dc, adjacency = _two_arm_world()
+        query = np.array([-3.0, -3.0], dtype=np.float32)
+        gt = compute_ground_truth(dc.data, query[None, :], 3, Metric.L2)
+        outcome = rfix_query(adjacency, dc, query, gt.ids[0], gt.distances[0],
+                             entry_point=0, search_ef=4, max_rounds=1,
+                             max_extra_degree=8)
+        assert outcome.rounds <= 1
+
+    def test_on_real_index_all_train_queries_reach(self, tiny_ds, fresh_hnsw,
+                                                   tiny_train_gt):
+        """After RFix, every historical query's search reaches its vicinity
+        (Theorem 5 precondition)."""
+        from repro.graphs.base import medoid_id
+        entry = medoid_id(fresh_hnsw.dc)
+        k = 10
+        for i, query in enumerate(tiny_ds.train_queries):
+            outcome = rfix_query(
+                fresh_hnsw.adjacency, fresh_hnsw.dc, query,
+                tiny_train_gt.ids[i][:k], tiny_train_gt.distances[i][:k],
+                entry_point=entry, search_ef=k, max_extra_degree=12)
+            assert outcome.reached_vicinity

@@ -1,0 +1,143 @@
+"""Failure injection and degenerate-input robustness across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HNSW,
+    BruteForceIndex,
+    FixConfig,
+    NGFixer,
+    compute_ground_truth,
+)
+from repro.core.escape_hardness import escape_hardness
+from repro.core.ngfix import ngfix_query
+from repro.distances import DistanceComputer, Metric
+from repro.graphs.adjacency import AdjacencyStore
+from repro.graphs.search import greedy_search
+
+
+class TestDuplicateVectors:
+    """Corpora with exact duplicates must not break builds or fixing."""
+
+    @pytest.fixture(scope="class")
+    def dup_data(self):
+        rng = np.random.default_rng(0)
+        unique = rng.standard_normal((80, 8)).astype(np.float32)
+        return np.vstack([unique, unique[:40]])  # 40 exact duplicates
+
+    def test_hnsw_builds_and_searches(self, dup_data):
+        index = HNSW(dup_data, Metric.L2, M=6, ef_construction=30,
+                     single_layer=True, seed=0)
+        result = index.search(dup_data[0], k=5, ef=20)
+        assert len(result.ids) == 5
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_ngfix_handles_duplicate_neighbors(self, dup_data):
+        index = HNSW(dup_data, Metric.L2, M=6, ef_construction=30,
+                     single_layer=True, seed=0)
+        fixer = NGFixer(index, FixConfig(k=6, preprocess="exact"))
+        fixer.fit(dup_data[:10] + 0.01)  # queries on top of duplicates
+        assert fixer.adjacency.n_extra_edges() >= 0  # no crash
+
+    def test_ground_truth_ties_deterministic(self, dup_data):
+        gt1 = compute_ground_truth(dup_data, dup_data[:3], 5, Metric.L2)
+        gt2 = compute_ground_truth(dup_data, dup_data[:3], 5, Metric.L2)
+        assert np.array_equal(gt1.ids, gt2.ids)
+
+
+class TestSingularGeometry:
+    def test_all_identical_points(self):
+        data = np.ones((30, 4), dtype=np.float32)
+        index = HNSW(data, Metric.L2, M=4, ef_construction=10,
+                     single_layer=True, seed=0)
+        result = index.search(np.ones(4, dtype=np.float32), k=3, ef=10)
+        assert len(result.ids) == 3
+
+    def test_zero_vectors_cosine(self):
+        data = np.zeros((10, 4), dtype=np.float32)
+        data[0] = 1.0
+        dc = DistanceComputer(data, Metric.COSINE)
+        q = dc.prepare_query(np.zeros(4, dtype=np.float32))
+        assert np.isfinite(dc.all_to_query(q)).all()
+
+    def test_single_dimension(self):
+        data = np.arange(50, dtype=np.float32)[:, None]
+        index = HNSW(data, Metric.L2, M=4, ef_construction=10,
+                     single_layer=True, seed=0)
+        result = index.search(np.array([25.4], dtype=np.float32), k=1, ef=10)
+        assert result.ids[0] == 25
+
+    def test_two_point_corpus(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        index = BruteForceIndex(data, Metric.L2)
+        assert index.search(np.zeros(2, dtype=np.float32), k=2).ids.tolist() == [0, 1]
+
+
+class TestHostileGraphStructure:
+    def test_search_on_self_loop_free_graph(self):
+        """Adjacency refuses self loops, so a malicious set_base_neighbors
+        with self references cannot create infinite expansion."""
+        adjacency = AdjacencyStore(4)
+        adjacency.set_base_neighbors(0, [0, 0, 1])
+        assert adjacency.base_neighbors(0) == [1]
+
+    def test_search_terminates_on_cycle(self):
+        data = np.random.default_rng(0).standard_normal((6, 3)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        adjacency = AdjacencyStore(6)
+        for u in range(6):
+            adjacency.add_base_edge(u, (u + 1) % 6)
+        result = greedy_search(dc, adjacency.neighbors, [0],
+                               data[3], k=2, ef=4)
+        assert len(result.ids) == 2
+
+    def test_ngfix_on_totally_disconnected_graph(self):
+        data = np.random.default_rng(1).standard_normal((30, 4)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        adjacency = AdjacencyStore(30)  # zero edges anywhere
+        gt = compute_ground_truth(data, data[:1], 15, Metric.L2)
+        eh = escape_hardness(adjacency.neighbors, gt.ids[0], 5)
+        assert eh.n_unreachable_pairs() == 20
+        outcome = ngfix_query(adjacency, dc, eh, max_extra_degree=10)
+        assert outcome.fully_reachable
+
+    def test_all_neighbors_tombstoned_still_returns(self):
+        data = np.random.default_rng(2).standard_normal((5, 3)).astype(np.float32)
+        dc = DistanceComputer(data, Metric.L2)
+        adjacency = AdjacencyStore(5)
+        for v in range(1, 5):
+            adjacency.add_base_edge(0, v)
+        result = greedy_search(dc, adjacency.neighbors, [0], data[2], k=2,
+                               ef=4, excluded={1, 2, 3, 4})
+        assert result.ids.tolist() == [0]
+
+
+class TestFixerEdgeCases:
+    def test_fit_single_query(self, tiny_ds, fresh_hnsw):
+        fixer = NGFixer(fresh_hnsw, FixConfig(k=8, preprocess="exact"))
+        fixer.fit(tiny_ds.train_queries[:1])
+        assert len(fixer.records) == 1
+
+    def test_fit_twice_idempotent_reachability(self, tiny_ds, fresh_hnsw):
+        """A second fit over the same history adds (almost) nothing: the
+        defects are already fixed."""
+        fixer = NGFixer(fresh_hnsw, FixConfig(k=8, preprocess="exact"))
+        fixer.fit(tiny_ds.train_queries[:30])
+        first = fixer.adjacency.n_extra_edges()
+        fixer.fit(tiny_ds.train_queries[:30])
+        second = fixer.adjacency.n_extra_edges()
+        assert second <= first + 0.1 * first + 2
+
+    def test_k_larger_than_history_gt(self, tiny_ds, fresh_hnsw):
+        """K_max is capped by corpus size errors cleanly."""
+        config = FixConfig(k=200, hard_ratio=3.0, preprocess="exact")
+        fixer = NGFixer(fresh_hnsw, config)
+        with pytest.raises(ValueError):
+            fixer.fit(tiny_ds.train_queries[:2])
+
+    def test_queries_equal_to_base_points(self, tiny_ds, fresh_hnsw):
+        """ID queries that coincide with base points fix trivially."""
+        fixer = NGFixer(fresh_hnsw, FixConfig(k=8, preprocess="exact"))
+        fixer.fit(tiny_ds.base[:10])
+        assert all(r.hardness >= 0 for r in fixer.records)

@@ -1,0 +1,76 @@
+"""Bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import bootstrap_ci, paired_bootstrap_diff
+
+
+class TestBootstrapCi:
+    def test_mean_inside_ci(self):
+        values = np.random.default_rng(0).normal(0.8, 0.1, 200)
+        mean, lo, hi = bootstrap_ci(values, seed=0)
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(values.mean())
+
+    def test_ci_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 20), seed=0)
+        large = bootstrap_ci(rng.normal(0, 1, 2000), seed=0)
+        assert (large[2] - large[1]) < (small[2] - small[1])
+
+    def test_constant_values_zero_width(self):
+        mean, lo, hi = bootstrap_ci(np.full(50, 0.5), seed=0)
+        assert mean == lo == hi == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.empty(0))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0.7, 0.1, 150)
+        out = paired_bootstrap_diff(base + 0.1, base, seed=0)
+        assert out["significant"]
+        assert out["diff"] == pytest.approx(0.1, abs=1e-9)
+        assert out["ci_low"] > 0
+
+    def test_identical_not_significant(self):
+        values = np.random.default_rng(3).normal(0.5, 0.2, 100)
+        out = paired_bootstrap_diff(values, values, seed=0)
+        assert not out["significant"]
+        assert out["diff"] == 0.0
+
+    def test_pure_noise_rarely_significant(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0.5, 0.3, 100)
+        b = rng.normal(0.5, 0.3, 100)
+        out = paired_bootstrap_diff(a, b, confidence=0.99, seed=0)
+        assert out["ci_low"] < out["diff"] < out["ci_high"]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_diff(np.ones(4), np.ones(5))
+
+    def test_on_real_fixer_comparison(self, tiny_ds, tiny_gt):
+        """The headline effect is statistically significant, not noise."""
+        from repro import FixConfig, HNSW, NGFixer
+        from repro.evalx.metrics import recall_per_query
+
+        base = HNSW(tiny_ds.base, tiny_ds.metric, M=8, ef_construction=40,
+                    single_layer=True, seed=3)
+        before = np.vstack([base.search(q, k=10, ef=20).ids[:10]
+                            for q in tiny_ds.test_queries])
+        r_before = recall_per_query(before, tiny_gt.top(10).ids)
+        fixer = NGFixer(base, FixConfig(k=10, preprocess="exact"))
+        fixer.fit(tiny_ds.train_queries)
+        after = np.vstack([fixer.search(q, k=10, ef=20).ids[:10]
+                           for q in tiny_ds.test_queries])
+        r_after = recall_per_query(after, tiny_gt.top(10).ids)
+        out = paired_bootstrap_diff(r_after, r_before, seed=0)
+        assert out["diff"] > 0
+        assert out["ci_low"] <= out["diff"] <= out["ci_high"]

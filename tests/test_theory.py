@@ -1,0 +1,92 @@
+"""Theory demonstrations: Delaunay guarantees and Theorem 3.
+
+Sec. 3/4 of the paper rest on classical facts about the Delaunay graph:
+greedy search on DG finds the exact nearest neighbor of *any* query, and
+(Theorem 3) removing any DG edge creates a query whose neighborhood graph
+degenerates into isolated points — hence global guarantees are hopeless in
+high dimension and per-query fixing is the tractable route.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.qng import build_qng, isolated_points
+from repro.distances import DistanceComputer, Metric
+from repro.graphs.exact import delaunay_graph
+from repro.graphs.search import greedy_search
+
+
+@pytest.fixture(scope="module")
+def world():
+    points = np.random.default_rng(7).standard_normal((80, 2)).astype(np.float32)
+    return points, delaunay_graph(points), DistanceComputer(points, Metric.L2)
+
+
+def _neighbors_fn(edges):
+    def fn(u):
+        return np.array(sorted(edges[u]), dtype=np.int64)
+    return fn
+
+
+class TestDelaunayGuarantee:
+    def test_greedy_search_always_finds_exact_nn(self, world):
+        """Malkov & Yashunin's DG property: pure greedy (ef=1) from any
+        start lands on the exact NN of any query."""
+        points, edges, dc = world
+        fn = _neighbors_fn(edges)
+        rng = np.random.default_rng(1)
+        queries = rng.standard_normal((40, 2)).astype(np.float32)
+        for start in (0, 13, 55):
+            for q in queries:
+                found = greedy_search(dc, fn, [start], q, k=1, ef=1).ids[0]
+                exact = int(np.argmin(((points - q) ** 2).sum(axis=1)))
+                assert found == exact
+
+    def test_dg_connected(self, world):
+        points, edges, _ = world
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in edges[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert len(seen) == len(points)
+
+    def test_dimension_guard(self):
+        with pytest.raises(ValueError):
+            delaunay_graph(np.zeros((10, 5), dtype=np.float32))
+
+
+class TestTheorem3:
+    def test_removing_a_dg_edge_breaks_some_query_neighborhood(self, world):
+        """Theorem 3: after deleting a DG edge (u, v), there is a query
+        whose 2-NN neighborhood graph consists of two isolated nodes.
+
+        Constructive witness: for a Delaunay edge whose midpoint has u and v
+        as its two nearest points, removing the edge leaves QNG_2 edgeless.
+        """
+        points, edges, dc = world
+        witness_found = False
+        for u in range(len(points)):
+            for v in edges[u]:
+                if v < u:
+                    continue
+                midpoint = (points[u] + points[v]) / 2
+                d = ((points - midpoint) ** 2).sum(axis=1)
+                top2 = set(np.argsort(d, kind="stable")[:2].tolist())
+                if top2 != {u, v}:
+                    continue
+                # delete the edge (both directions, it's undirected)
+                pruned = [set(s) for s in edges]
+                pruned[u].discard(v)
+                pruned[v].discard(u)
+                nn_ids = np.array(sorted(top2, key=lambda i: d[i]))
+                local = build_qng(_neighbors_fn(pruned), nn_ids)
+                assert isolated_points(local) == 2
+                witness_found = True
+                break
+            if witness_found:
+                break
+        assert witness_found, "no Delaunay edge with a midpoint witness found"

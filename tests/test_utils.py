@@ -1,0 +1,100 @@
+"""rng_utils and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng_utils import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_matrix,
+    check_positive,
+    check_vector,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(0, 3)
+        assert len(streams) == 3
+        draws = [g.random(4).tolist() for g in streams]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_rngs_deterministic(self):
+        a = [g.random() for g in spawn_rngs(5, 2)]
+        b = [g.random() for g in spawn_rngs(5, 2)]
+        assert a == b
+
+
+class TestCheckMatrix:
+    def test_accepts_and_casts(self):
+        out = check_matrix([[1, 2], [3, 4]], "x")
+        assert out.dtype == np.float32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_matrix(np.zeros(3), "x")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_matrix(np.zeros((0, 3)), "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            check_matrix([[np.nan, 1.0]], "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_matrix(np.zeros(3), "myarg")
+
+
+class TestCheckVector:
+    def test_accepts(self):
+        out = check_vector([1.0, 2.0], "v")
+        assert out.shape == (2,)
+
+    def test_dim_enforced(self):
+        with pytest.raises(ValueError, match="dimension 3"):
+            check_vector([1.0, 2.0], "v", dim=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_vector(np.zeros((2, 2)), "v")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_vector([np.inf], "v")
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        check_positive(1, "x")
+        check_positive(0, "x", strict=False)
+
+    def test_positive_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x", strict=False)
+
+    def test_fraction_bounds(self):
+        check_fraction(0.0, "f")
+        check_fraction(1.0, "f")
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "f")
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "f")

@@ -1,0 +1,91 @@
+"""Vamana and RobustVamana (OOD-DiskANN)."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import compute_ground_truth, recall_at_k
+from repro.graphs import RobustVamana, Vamana
+from repro.graphs.exact import is_strongly_connected
+
+
+def _recall_of(index, queries, gt, k, ef):
+    found = np.vstack([index.search(q, k=k, ef=ef).ids[:k] for q in queries])
+    return recall_at_k(found, gt.top(k).ids)
+
+
+class TestVamana:
+    @pytest.fixture(scope="class")
+    def vamana(self, tiny_ds):
+        return Vamana(tiny_ds.base, tiny_ds.metric, R=12, L=30, seed=0)
+
+    def test_degree_bounded(self, vamana):
+        for u in range(vamana.size):
+            assert len(vamana.adjacency.base_neighbors(u)) <= vamana.R
+
+    def test_recall_on_base_points(self, tiny_ds, vamana):
+        queries = tiny_ds.base[:25]
+        gt = compute_ground_truth(tiny_ds.base, queries, 5, tiny_ds.metric)
+        assert _recall_of(vamana, queries, gt, 5, 40) > 0.9
+
+    def test_reasonable_ood_recall(self, tiny_ds, tiny_gt, vamana):
+        assert _recall_of(vamana, tiny_ds.test_queries, tiny_gt, 10, 80) > 0.7
+
+    def test_deterministic(self, tiny_ds):
+        a = Vamana(tiny_ds.base, tiny_ds.metric, R=8, L=20, seed=5)
+        b = Vamana(tiny_ds.base, tiny_ds.metric, R=8, L=20, seed=5)
+        for u in range(a.size):
+            assert a.adjacency.base_neighbors(u) == b.adjacency.base_neighbors(u)
+
+    def test_alpha_one_skips_second_pass(self, tiny_ds):
+        index = Vamana(tiny_ds.base[:100], tiny_ds.metric, R=8, L=20,
+                       alpha=1.0, seed=0)
+        assert index.size == 100
+
+    def test_invalid_params(self, tiny_ds):
+        with pytest.raises(ValueError):
+            Vamana(tiny_ds.base, tiny_ds.metric, R=0)
+        with pytest.raises(ValueError):
+            Vamana(tiny_ds.base, tiny_ds.metric, alpha=0.9)
+
+
+class TestRobustVamana:
+    @pytest.fixture(scope="class")
+    def robust(self, tiny_ds):
+        return RobustVamana(tiny_ds.base, tiny_ds.metric,
+                            tiny_ds.train_queries, R=12, L=30, seed=0)
+
+    def test_navigators_are_tombstoned(self, robust, tiny_ds):
+        assert robust.n_base == tiny_ds.n
+        assert robust.n_navigators == len(tiny_ds.train_queries)
+        assert robust.adjacency.tombstones == set(
+            range(tiny_ds.n, tiny_ds.n + len(tiny_ds.train_queries)))
+
+    def test_navigators_never_returned(self, robust, tiny_ds):
+        for q in tiny_ds.test_queries[:15]:
+            result = robust.search(q, k=10, ef=40)
+            assert (result.ids < robust.n_base).all()
+
+    def test_recall_on_ood(self, tiny_ds, tiny_gt, robust):
+        assert _recall_of(robust, tiny_ds.test_queries, tiny_gt, 10, 80) > 0.75
+
+    def test_query_dim_mismatch_rejected(self, tiny_ds):
+        with pytest.raises(ValueError, match="dimension"):
+            RobustVamana(tiny_ds.base, tiny_ds.metric,
+                         np.zeros((3, tiny_ds.dim + 1), dtype=np.float32))
+
+    def test_stats_report_navigators(self, robust):
+        assert robust.stats()["n_navigators"] == robust.n_navigators
+
+    def test_longer_paths_than_plain_vamana(self, tiny_ds, tiny_gt, robust):
+        """The paper's critique: navigator nodes extend search paths, so
+        RobustVamana spends more distance computations at the same ef."""
+        plain = Vamana(tiny_ds.base, tiny_ds.metric, R=12, L=30, seed=0)
+        robust.dc.reset_ndc()
+        for q in tiny_ds.test_queries:
+            robust.search(q, k=10, ef=40)
+        ndc_robust = robust.dc.reset_ndc()
+        plain.dc.reset_ndc()
+        for q in tiny_ds.test_queries:
+            plain.search(q, k=10, ef=40)
+        ndc_plain = plain.dc.reset_ndc()
+        assert ndc_robust > ndc_plain

@@ -1,0 +1,78 @@
+"""Classical MDS and ASCII QNG rendering (Fig. 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.visualize import (
+    ascii_scatter,
+    classical_mds,
+    qng_layout,
+    render_qng,
+)
+from repro.distances import pairwise_distances
+
+
+class TestClassicalMds:
+    def test_recovers_planar_configuration(self):
+        """Points already in 2-D are recovered up to rotation: pairwise
+        distances of the embedding match the originals."""
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((12, 2))
+        d = pairwise_distances(pts.astype(np.float32),
+                               pts.astype(np.float32), "l2")
+        emb = classical_mds(d, 2)
+        d2 = pairwise_distances(emb.astype(np.float32),
+                                emb.astype(np.float32), "l2")
+        assert np.allclose(np.sqrt(d), np.sqrt(d2), atol=1e-3)
+
+    def test_high_dim_to_2d_preserves_gross_structure(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((10, 16)) * 0.1
+        b = rng.standard_normal((10, 16)) * 0.1 + 5.0
+        pts = np.vstack([a, b]).astype(np.float32)
+        emb = classical_mds(pairwise_distances(pts, pts, "l2"), 2)
+        centroid_gap = np.linalg.norm(emb[:10].mean(0) - emb[10:].mean(0))
+        within = np.linalg.norm(emb[:10] - emb[:10].mean(0), axis=1).mean()
+        assert centroid_gap > 3 * within
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((3, 3)), n_components=0)
+
+
+class TestQngLayout:
+    def test_layout_shapes(self, shared_hnsw, tiny_gt):
+        layout = qng_layout(shared_hnsw, tiny_gt.ids[0][:10])
+        assert layout["coords"].shape == (10, 2)
+        for u, v in layout["edges"]:
+            assert 0 <= u < 10 and 0 <= v < 10
+
+
+class TestAsciiScatter:
+    def test_renders_all_points(self):
+        coords = np.array([[0, 0], [1, 1], [0, 1]], dtype=float)
+        art = ascii_scatter(coords, width=10, height=5)
+        assert "0" in art and "1" in art and "2" in art
+        assert len(art.splitlines()) == 5
+
+    def test_edges_drawn(self):
+        coords = np.array([[0, 0], [1, 0]], dtype=float)
+        art = ascii_scatter(coords, edges=[(0, 1)], width=20, height=3)
+        assert "." in art
+
+    def test_degenerate_single_point(self):
+        art = ascii_scatter(np.array([[1.0, 1.0]]), width=5, height=3)
+        assert "0" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((3, 3)))
+
+
+class TestRenderQng:
+    def test_end_to_end(self, shared_hnsw, tiny_gt):
+        art = render_qng(shared_hnsw, tiny_gt, 0, 10, width=30, height=10)
+        assert len(art.splitlines()) == 10
+        assert any(c.isdigit() for c in art)
