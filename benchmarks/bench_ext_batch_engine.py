@@ -1,0 +1,94 @@
+"""Extension — batched query execution engine throughput.
+
+The lock-step batch engine (repro.graphs.search.BatchSearchEngine) advances
+beam search for a block of queries together, coalescing every per-hop
+neighbor evaluation into one vectorized distance call.  This bench measures
+sequential vs batched QPS on laion-sim at ef=100 and checks the bit-level
+equivalence contract on the side.  Results also land in
+``BENCH_batch_engine.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from workbench import K, get_dataset, get_hnsw, record
+
+NAME = "laion-sim"
+EF = 100
+N_QUERIES = 500
+BATCH_SIZES = [64, 256, 500]
+TARGET_SPEEDUP = 3.0
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch_engine.json"
+
+
+def _queries(ds):
+    qs = np.concatenate([ds.test_queries, ds.train_queries])[:N_QUERIES]
+    return np.ascontiguousarray(qs, dtype=np.float32)
+
+
+def _pad(results, k):
+    ids = np.full((len(results), k), -1, dtype=np.int64)
+    dists = np.full((len(results), k), np.inf)
+    for i, r in enumerate(results):
+        m = min(k, len(r.ids))
+        ids[i, :m] = r.ids[:m]
+        dists[i, :m] = r.distances[:m]
+    return ids, dists
+
+
+def test_ext_batch_engine(benchmark):
+    ds = get_dataset(NAME)
+    index = get_hnsw(NAME)
+    queries = _queries(ds)
+
+    # Warm caches (neighbor arrays, engine allocation) outside the timers.
+    seq_results = [index.search(q, k=K, ef=EF) for q in queries]
+    index.search_batch(queries, k=K, ef=EF, batch_size=BATCH_SIZES[0])
+
+    start = time.perf_counter()
+    seq_results = [index.search(q, k=K, ef=EF) for q in queries]
+    seq_qps = len(queries) / (time.perf_counter() - start)
+    seq_ids, seq_dists = _pad(seq_results, K)
+
+    rows = [("sequential", 1, round(seq_qps, 1), 1.0)]
+    results_json = {
+        "dataset": NAME, "n_queries": len(queries), "k": K, "ef": EF,
+        "sequential_qps": round(seq_qps, 1), "batched": [],
+    }
+    best_speedup = 0.0
+    for bs in BATCH_SIZES:
+        start = time.perf_counter()
+        batch_results = index.search_batch(queries, k=K, ef=EF, batch_size=bs)
+        qps = len(queries) / (time.perf_counter() - start)
+        bat_ids, bat_dists = _pad(batch_results, K)
+        # Bit-level equivalence contract: same ids, same distances.
+        np.testing.assert_array_equal(bat_ids, seq_ids)
+        np.testing.assert_array_equal(bat_dists, seq_dists)
+        speedup = qps / seq_qps
+        best_speedup = max(best_speedup, speedup)
+        rows.append((f"batched bs={bs}", bs, round(qps, 1), round(speedup, 2)))
+        results_json["batched"].append(
+            {"batch_size": bs, "qps": round(qps, 1),
+             "speedup": round(speedup, 2)})
+
+    results_json["best_speedup"] = round(best_speedup, 2)
+    JSON_PATH.write_text(json.dumps(results_json, indent=2) + "\n")
+
+    record(
+        "ext_batch_engine",
+        f"batched vs sequential beam search ({NAME}, ef={EF})",
+        ["mode", "batch size", "qps", "speedup"],
+        rows,
+        notes="lock-step batch engine; results bit-identical to sequential "
+              "search (asserted above); JSON copy at BENCH_batch_engine.json",
+    )
+    assert best_speedup >= TARGET_SPEEDUP, (
+        f"batched engine speedup {best_speedup:.2f}x below "
+        f"{TARGET_SPEEDUP}x target")
+    best_bs = max(results_json["batched"], key=lambda r: r["speedup"])
+    benchmark(lambda: index.search_batch(
+        queries, k=K, ef=EF, batch_size=best_bs["batch_size"]))

@@ -14,7 +14,6 @@ from repro.evalx import qps_at_recall
 
 from workbench import (
     K,
-    FIX_PARAMS,
     curve_rows,
     get_dataset,
     get_fixed,

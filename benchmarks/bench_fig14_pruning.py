@@ -11,7 +11,6 @@ from repro.evalx import ndc_at_recall, qps_at_recall
 
 from workbench import (
     FIX_PARAMS,
-    K,
     get_dataset,
     get_hnsw,
     record,

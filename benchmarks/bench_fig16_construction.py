@@ -24,7 +24,6 @@ from workbench import (
     ROAR_PARAMS,
     get_dataset,
     record,
-    search_op,
     timed,
 )
 

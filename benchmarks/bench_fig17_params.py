@@ -7,7 +7,7 @@ a small k beat either alone for mixed retrieval sizes), and the EH threshold
 """
 
 from repro.core import FixConfig, NGFixer
-from repro.evalx import ndc_at_recall, qps_at_recall
+from repro.evalx import qps_at_recall
 
 from workbench import (
     FIX_PARAMS,

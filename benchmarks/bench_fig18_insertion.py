@@ -7,7 +7,6 @@ history) recovers most of a full rebuild's quality, with time growing in p
 (p = 0.2 costs ~28.5% of a full rebuild in the paper).
 """
 
-import numpy as np
 
 from repro.core import FixConfig, IndexMaintainer, NGFixer
 from repro.evalx import compute_ground_truth, evaluate_index

@@ -11,11 +11,10 @@ RoarGraph, and HNSW-NGFix* on a cross-modal workload, plus the path-length
 cost of navigator nodes (NDC at equal ef).
 """
 
-from repro.evalx import evaluate_index, ndc_at_recall, qps_at_recall, sweep
+from repro.evalx import evaluate_index, ndc_at_recall, qps_at_recall
 from repro.graphs import RobustVamana, Vamana
 
 from workbench import (
-    EFS,
     K,
     _memo,
     get_dataset,

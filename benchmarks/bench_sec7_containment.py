@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.ngfix_plus import perturb_within_ball
 from repro.evalx import compute_ground_truth
 
-from workbench import K, get_dataset, get_gt, record, search_op, get_hnsw
+from workbench import K, get_dataset, record, search_op, get_hnsw
 
 NAME = "webvid-sim"
 CS = (1, 2, 3)

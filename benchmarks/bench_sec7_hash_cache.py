@@ -8,7 +8,6 @@ memory per stored answer.
 
 import time
 
-import numpy as np
 
 from repro.core import CachedSearcher, HashTableCache
 from repro.evalx import compute_ground_truth

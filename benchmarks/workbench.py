@@ -19,7 +19,6 @@ import os
 import pathlib
 import time
 
-import numpy as np
 
 from repro import (
     HNSW,

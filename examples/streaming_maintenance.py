@@ -11,7 +11,6 @@ from repro import (
     FixConfig,
     IndexMaintainer,
     NGFixer,
-    compute_ground_truth,
     load_dataset,
     recall_at_k,
 )

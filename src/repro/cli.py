@@ -57,6 +57,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "otherwise a fresh HNSW-NGFix* is built")
     p_eval.add_argument("--efs", type=int, nargs="*",
                         default=[10, 20, 40, 80, 160])
+    p_eval.add_argument("--batch-size", type=int, default=1,
+                        help="queries advanced together through the batch "
+                             "engine; 1 = sequential per-query loop "
+                             "(identical results either way)")
 
     p_an = sub.add_parser("analyze", help="hardness diagnostics for a dataset")
     _add_common(p_an)
@@ -156,7 +160,8 @@ def _cmd_evaluate(args) -> int:
         label = "HNSW-NGFix* (freshly built)"
     gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric)
     points = sweep(index, ds.test_queries, gt, args.k,
-                   [max(ef, args.k) for ef in args.efs])
+                   [max(ef, args.k) for ef in args.efs],
+                   batch_size=args.batch_size)
     rows = [(p.ef, round(p.recall, 4), round(p.rderr, 6), round(p.qps, 1),
              round(p.ndc_per_query, 1)) for p in points]
     print(format_table(["ef", "recall", "rderr", "QPS", "NDC/query"], rows,
@@ -168,7 +173,6 @@ def _cmd_analyze(args) -> int:
     from repro import HNSW, compute_ground_truth
     from repro.core.analysis import phase_reach_stats
     from repro.core.visualize import render_qng
-    from repro.evalx.metrics import recall_per_query
     ds = _load_dataset(args)
     index = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
                  single_layer=True, seed=args.seed)

@@ -28,12 +28,12 @@ import time
 
 import numpy as np
 
-from repro.core.escape_hardness import EscapeHardnessResult, escape_hardness
+from repro.core.escape_hardness import escape_hardness
 from repro.core.ngfix import FixOutcome, ngfix_query
 from repro.core.rfix import RFixOutcome, rfix_query
 from repro.evalx.ground_truth import compute_ground_truth
 from repro.graphs.base import GraphIndex, medoid_id
-from repro.graphs.search import SearchResult, greedy_search
+from repro.graphs.search import BatchSearchEngine, SearchResult, greedy_search
 from repro.utils.rng_utils import ensure_rng
 from repro.utils.validation import check_matrix
 
@@ -110,6 +110,7 @@ class NGFixer:
         # (exact = |Q| * n, approximate = graph-search work).
         self.preprocess_ndc = 0
         self._rng = ensure_rng(self.config.seed)
+        self._batch_engine: BatchSearchEngine | None = None
 
     # -- index protocol -----------------------------------------------------
 
@@ -136,6 +137,23 @@ class NGFixer:
             excluded=self.adjacency.tombstones or None,
             collect_visited=collect_visited, prepared=True,
         )
+
+    def search_batch(self, queries: np.ndarray, k: int, ef: int | None = None,
+                     batch_size: int = 32) -> list[SearchResult]:
+        """Batched medoid-entry search; same results as per-query :meth:`search`."""
+        if ef is None:
+            ef = max(k, 10)
+        engine = self._batch_engine
+        if engine is None or engine.batch_size != batch_size:
+            engine = BatchSearchEngine(
+                self.dc,
+                self.adjacency.neighbors,
+                self.entry_points,
+                excluded_fn=lambda: self.adjacency.tombstones or None,
+                batch_size=batch_size,
+            )
+            self._batch_engine = engine
+        return engine.search_batch(queries, k, ef)
 
     def stats(self) -> dict:
         """Index statistics plus fixing totals."""

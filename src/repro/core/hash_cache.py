@@ -54,6 +54,26 @@ class HashTableCache:
         self.hits += 1
         return SearchResult(ids=entry[0][:k].copy(), distances=entry[1][:k].copy())
 
+    def drop_if_contains(self, deleted) -> int:
+        """Remove every cached answer containing any of the ``deleted`` ids.
+
+        Deletion invalidation: a stored answer that references a deleted
+        point is stale in a way graph search would never be (tombstones are
+        filtered from live results), so the whole entry is evicted and the
+        next lookup falls through to the index.  Returns the number of
+        entries dropped.
+        """
+        if np.isscalar(deleted):
+            deleted = (deleted,)
+        deleted = {int(i) for i in deleted}
+        if not deleted:
+            return 0
+        stale = [key for key, (ids, _) in self._store.items()
+                 if not deleted.isdisjoint(ids.tolist())]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
     def memory_bytes(self) -> int:
         """Approximate store footprint (keys + int64 ids + float64 dists)."""
         digest_len = hashlib.new(self.algorithm).digest_size
@@ -77,8 +97,21 @@ class CachedSearcher:
         for i, query in enumerate(np.atleast_2d(queries)):
             self.cache.put(query, ids[i], distances[i])
 
+    def invalidate(self, ids) -> int:
+        """Drop cached answers referencing ``ids`` (call on deletion)."""
+        return self.cache.drop_if_contains(ids)
+
     def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
         hit = self.cache.get(query, k)
         if hit is not None:
-            return hit
+            tombstones = getattr(getattr(self.index, "adjacency", None),
+                                 "tombstones", None)
+            if tombstones and not tombstones.isdisjoint(hit.ids.tolist()):
+                # A deletion bypassed invalidate(); purge all stale entries
+                # and treat this lookup as a miss.
+                self.cache.drop_if_contains(tombstones)
+                self.cache.hits -= 1
+                self.cache.misses += 1
+            else:
+                return hit
         return self.index.search(query, k=k, ef=ef)

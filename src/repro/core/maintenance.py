@@ -43,13 +43,21 @@ class IndexMaintainer:
     compact_threshold:
         Tombstone fraction that triggers physical compaction (the paper
         suggests ~1%; the default is scaled up for small corpora).
+    cache:
+        Optional answer cache to invalidate on deletion — a
+        :class:`~repro.core.hash_cache.CachedSearcher` (``invalidate``) or
+        bare :class:`~repro.core.hash_cache.HashTableCache`
+        (``drop_if_contains``); cached answers referencing deleted points
+        are evicted the moment the points are tombstoned.
     """
 
     def __init__(self, fixer: NGFixer, history: np.ndarray,
                  compact_threshold: float = 0.05,
-                 seed: int | np.random.Generator | None = 0):
+                 seed: int | np.random.Generator | None = 0,
+                 cache=None):
         check_fraction(compact_threshold, "compact_threshold")
         self.fixer = fixer
+        self.cache = cache
         history = np.asarray(history, dtype=np.float32)
         # An empty history is legal (no partial rebuilds possible, insert/
         # delete maintenance still works).
@@ -105,11 +113,17 @@ class IndexMaintainer:
         Returns True if a compaction ran.
         """
         tombstones = self.fixer.adjacency.tombstones
-        for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        for i in ids:
             i = int(i)
             if not 0 <= i < self.fixer.dc.size:
                 raise IndexError(f"id {i} out of range [0, {self.fixer.dc.size})")
             tombstones.add(i)
+        if self.cache is not None:
+            drop = getattr(self.cache, "invalidate", None)
+            if drop is None:
+                drop = self.cache.drop_if_contains
+            drop(ids)
         if len(tombstones) > self.compact_threshold * self.fixer.dc.size:
             self.compact()
             return True

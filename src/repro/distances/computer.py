@@ -73,22 +73,51 @@ class DistanceComputer:
         """Validate (and for COSINE normalize) a query vector once per search."""
         q = check_vector(query, "query", dim=self.dim)
         if self.metric is Metric.COSINE:
+            # Always float64 (even for near-zero norms) so a block of
+            # prepared queries stacks into one homogeneous matrix.
             norm = np.linalg.norm(q)
-            if norm > 1e-12:
-                q = q / norm
+            q = q / norm if norm > 1e-12 else q.astype(np.float64)
         return q
+
+    def _rows_to_query_rows(self, rows: np.ndarray, qrows: np.ndarray) -> np.ndarray:
+        """Row-aligned distance reduction shared by the scalar and block paths.
+
+        Both paths must run the identical einsum reduction: BLAS
+        matrix-vector products accumulate in a different order, which would
+        break the bit-level equivalence between sequential and batched
+        search that the batch engine guarantees.
+        """
+        if self.metric is Metric.L2:
+            diff = rows - qrows
+            return np.einsum("ij,ij->i", diff, diff)
+        if self.metric is Metric.INNER_PRODUCT:
+            return -np.einsum("ij,ij->i", rows, qrows)
+        return 1.0 - np.einsum("ij,ij->i", rows, qrows)
 
     def to_query(self, ids: np.ndarray, query: np.ndarray) -> np.ndarray:
         """Distances from base rows ``ids`` to a *prepared* query vector."""
         ids = np.asarray(ids, dtype=np.int64)
         self.ndc += ids.shape[0]
         rows = self._data[ids]
-        if self.metric is Metric.L2:
-            diff = rows - query
-            return np.einsum("ij,ij->i", diff, diff)
-        if self.metric is Metric.INNER_PRODUCT:
-            return -(rows @ query)
-        return 1.0 - rows @ query
+        return self._rows_to_query_rows(rows, np.broadcast_to(query, rows.shape))
+
+    def block_to_queries(self, ids: np.ndarray, queries: np.ndarray,
+                         owners: np.ndarray) -> np.ndarray:
+        """Distances from base rows ``ids[i]`` to prepared ``queries[owners[i]]``.
+
+        The batched-search kernel: one call scores every frontier neighbor
+        of every active query in a block (``ids``/``owners`` are
+        row-aligned into the ``(B, d)`` prepared-query matrix).  NDC accrues
+        exactly as the equivalent per-query :meth:`to_query` calls would,
+        and the shared per-row reduction makes the distances bit-identical
+        to them.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        owners = np.asarray(owners, dtype=np.int64)
+        if ids.shape != owners.shape:
+            raise ValueError("ids and owners must align")
+        self.ndc += ids.shape[0]
+        return self._rows_to_query_rows(self._data[ids], queries[owners])
 
     def one_to_query(self, i: int, query: np.ndarray) -> float:
         """Distance from base row ``i`` to a prepared query."""

@@ -40,9 +40,16 @@ def evaluate_index(
     gt: GroundTruth,
     k: int,
     ef: int,
+    batch_size: int = 1,
 ) -> OperatingPoint:
-    """Run every query at one ef setting and aggregate metrics."""
+    """Run every query at one ef setting and aggregate metrics.
+
+    ``batch_size > 1`` routes queries through the index's batch engine
+    (``search_batch``); recall, rderr, and NDC are identical to the
+    sequential path — only wall-clock QPS changes.
+    """
     check_positive(k, "k")
+    check_positive(batch_size, "batch_size")
     if ef < k:
         raise ValueError(f"ef={ef} must be >= k={k}")
     queries = np.asarray(queries, dtype=np.float32)
@@ -54,8 +61,11 @@ def evaluate_index(
     found_d = np.empty((queries.shape[0], k), dtype=np.float64)
     index.dc.reset_ndc()
     start = time.perf_counter()
-    for i, query in enumerate(queries):
-        result = index.search(query, k=k, ef=ef)
+    if batch_size > 1:
+        results = index.search_batch(queries, k, ef, batch_size=batch_size)
+    else:
+        results = (index.search(query, k=k, ef=ef) for query in queries)
+    for i, result in enumerate(results):
         m = min(k, len(result.ids))
         found_ids[i, :m] = result.ids[:m]
         found_d[i, :m] = result.distances[:m]
@@ -88,6 +98,7 @@ def sweep(
     k: int,
     ef_values: list[int] | None = None,
     stop_at_recall: float = 0.999,
+    batch_size: int = 1,
 ) -> list[OperatingPoint]:
     """Evaluate an increasing ef schedule, stopping once recall saturates.
 
@@ -101,7 +112,7 @@ def sweep(
             ef = max(ef + 10, int(ef * 1.5))
     points = []
     for ef in ef_values:
-        point = evaluate_index(index, queries, gt, k, ef)
+        point = evaluate_index(index, queries, gt, k, ef, batch_size=batch_size)
         points.append(point)
         if point.recall >= stop_at_recall:
             break

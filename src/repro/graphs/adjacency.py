@@ -163,25 +163,25 @@ class AdjacencyStore:
         Implements step (1) of the paper's partial rebuild (Sec. 5.5.1):
         remove a proportion of extra outgoing edges (base edges untouched)
         and reset remaining EH values, because stale hardness estimates no
-        longer reflect the current graph.  Returns the number removed.
+        longer reflect the current graph.  Infinite-EH edges (RFix navigation
+        edges, paper Alg. 4) are never dropped and keep their sentinel tag —
+        the same never-evict guarantee :meth:`evict_lowest_eh` upholds.
+        Returns the number removed.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        removed = 0
-        for u in range(self.n_nodes):
-            extra = self._extra[u]
-            if not extra:
-                continue
-            targets = list(extra)
-            n_drop = int(round(fraction * len(targets)))
-            if n_drop:
-                for v in rng.choice(len(targets), size=n_drop, replace=False):
-                    del extra[targets[int(v)]]
-                removed += n_drop
-            for v in extra:
-                extra[v] = 0.0
+        targets = [(u, v) for u in range(self.n_nodes)
+                   for v, eh in self._extra[u].items() if eh != EH_INFINITE]
+        n_drop = int(round(fraction * len(targets)))
+        if n_drop:
+            for i in rng.choice(len(targets), size=n_drop, replace=False):
+                u, v = targets[int(i)]
+                del self._extra[u][v]
+        for u, v in targets:
+            if v in self._extra[u]:
+                self._extra[u][v] = 0.0
             self._cache[u] = None
-        return removed
+        return n_drop
 
     def remove_node_edges(self, deleted: set[int]) -> None:
         """Physically remove all edges into/out of ``deleted`` nodes.

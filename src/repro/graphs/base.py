@@ -9,7 +9,8 @@ import numpy as np
 
 from repro.distances import DistanceComputer, Metric
 from repro.graphs.adjacency import AdjacencyStore
-from repro.graphs.search import SearchResult, VisitedTable, greedy_search
+from repro.graphs.search import (BatchSearchEngine, SearchResult, VisitedTable,
+                                 greedy_search)
 
 
 def medoid_id(dc: DistanceComputer) -> int:
@@ -39,6 +40,7 @@ class GraphIndex(abc.ABC):
         self.dc = DistanceComputer(data, metric)
         self.adjacency = AdjacencyStore(self.dc.size)
         self._visited = VisitedTable(self.dc.size)
+        self._batch_engine: BatchSearchEngine | None = None
 
     @property
     def size(self) -> int:
@@ -76,18 +78,49 @@ class GraphIndex(abc.ABC):
             prepared=True,
         )
 
-    def search_many(self, queries: np.ndarray, k: int,
-                    ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    def _engine(self, batch_size: int) -> BatchSearchEngine:
+        """The lazily built batch engine (recreated when batch_size changes)."""
+        engine = self._batch_engine
+        if engine is None or engine.batch_size != batch_size:
+            engine = BatchSearchEngine(
+                self.dc,
+                self.adjacency.neighbors,
+                self.entry_points,
+                excluded_fn=lambda: self.adjacency.tombstones or None,
+                batch_size=batch_size,
+            )
+            self._batch_engine = engine
+        return engine
+
+    def search_batch(self, queries: np.ndarray, k: int, ef: int | None = None,
+                     batch_size: int = 32) -> list[SearchResult]:
+        """Batched search: one :class:`SearchResult` per query row.
+
+        Produces the same (ids, distances, NDC) as calling :meth:`search`
+        per query, but advances ``batch_size`` queries in lock step so
+        distance work coalesces into block kernels.
+        """
+        if ef is None:
+            ef = max(k, 10)
+        return self._engine(batch_size).search_batch(queries, k, ef)
+
+    def search_many(self, queries: np.ndarray, k: int, ef: int | None = None,
+                    batch_size: int = 32) -> tuple[np.ndarray, np.ndarray]:
         """Search a batch; returns (ids, distances) of shape (nq, k).
 
         Rows whose graph region yields fewer than k results are padded with
-        id -1 / distance inf.
+        id -1 / distance inf.  Queries run through the batch engine;
+        ``batch_size=1`` falls back to the sequential per-query loop (the
+        two paths return identical results).
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
         distances = np.full((queries.shape[0], k), np.inf)
-        for i, query in enumerate(queries):
-            result = self.search(query, k=k, ef=ef)
+        if batch_size == 1:
+            results = (self.search(query, k=k, ef=ef) for query in queries)
+        else:
+            results = self.search_batch(queries, k, ef, batch_size=batch_size)
+        for i, result in enumerate(results):
             m = min(k, len(result.ids))
             ids[i, :m] = result.ids[:m]
             distances[i, :m] = result.distances[:m]
@@ -108,6 +141,8 @@ class GraphIndex(abc.ABC):
                 out.adjacency = self.adjacency.copy()
             elif key == "_visited":
                 out._visited = VisitedTable(self.dc.size)
+            elif key == "_batch_engine":
+                out._batch_engine = None  # holds refs to the source's dc/graph
             else:
                 setattr(out, key, copy.deepcopy(value))
         return out

@@ -1,11 +1,19 @@
-"""Greedy (beam) search — Algorithm 1 of the paper.
+"""Greedy (beam) search — Algorithm 1 of the paper — plus the batch engine.
 
-The search keeps a candidate min-heap ``C`` and a bounded result max-heap
-``R`` of size ``ef`` (the paper's search list size L).  At each step the
-closest unexpanded candidate is popped; if it is farther than the worst
+The sequential search keeps a candidate min-heap ``C`` and a bounded result
+max-heap ``R`` of size ``ef`` (the paper's search list size L).  At each step
+the closest unexpanded candidate is popped; if it is farther than the worst
 result and ``R`` is full, the search terminates.  Otherwise its unvisited
 neighbors are batch-scored (one vectorized distance call — this is where NDC
 accrues) and pushed.
+
+:class:`BatchSearchEngine` advances the same algorithm for a *block* of
+queries in lock step: every round each active query expands its closest
+unexpanded candidate, and all frontier neighbors across the block are scored
+in one :meth:`~repro.distances.DistanceComputer.block_to_queries` call.
+Candidate/result state lives in per-block NumPy arrays instead of Python
+heaps, which is where the batch speedup comes from; the results are
+bit-identical to :func:`greedy_search` (see the engine docstring).
 
 Tombstoned nodes still *navigate* (lazy deletion, Sec. 5.5.2) but are
 excluded from the result heap.
@@ -116,6 +124,9 @@ def greedy_search(
     q = query if prepared else dc.prepare_query(query)
     if visited is None:
         visited = VisitedTable(dc.size)
+    # A reused table may predate incremental insertion (dc.append +
+    # adjacency.grow); without this, stamping new node ids raises IndexError.
+    visited.grow(dc.size)
     visited.next_epoch()
 
     entry_ids = np.unique(np.asarray(list(entry_points), dtype=np.int64))
@@ -173,3 +184,248 @@ def greedy_search(
         result.visited_ids = np.concatenate(collect_i)
         result.visited_distances = np.concatenate(collect_d)
     return result
+
+
+class BatchSearchEngine:
+    """Lock-step batched beam search over one graph.
+
+    Runs Algorithm 1 for a block of up to ``batch_size`` queries
+    simultaneously.  Each round every active query expands its closest
+    unexpanded candidate; the unvisited frontier neighbors of the whole
+    block are gathered and scored in a single
+    :meth:`~repro.distances.DistanceComputer.block_to_queries` call, then
+    scattered back into per-query candidate/result pools held as block-wide
+    NumPy arrays.  Visited marks use one version-stamped table over the
+    flattened ``(block_row, node)`` space, reused (and regrown on demand)
+    across calls instead of being allocated per query — memory cost is
+    ``batch_size * n_nodes`` int32 stamps.
+
+    **Equivalence.** The engine returns the same (ids, distances, NDC) as
+    running :func:`greedy_search` per query: candidate selection uses the
+    same (distance, id) order, expansion stops at the same bound, the
+    frontier is scored before bound-pruning exactly as the sequential code
+    does, and the distance kernel shares its per-row reduction with
+    ``to_query``.  The only permitted divergence is the ordering of results
+    whose distances are *exactly* equal at the pruning bound, which cannot
+    occur for generic float workloads.
+
+    Parameters
+    ----------
+    dc:
+        Distance computer over the base vectors (counts NDC).
+    neighbors_fn:
+        ``node_id -> np.ndarray`` of out-neighbors.
+    entry_points_fn:
+        ``prepared_query -> iterable of entry node ids``.
+    excluded_fn:
+        Nullary callable returning the current excluded set (tombstones) or
+        None; evaluated once per block so lazy deletions are honored.
+    batch_size:
+        Queries advanced together per block.
+    """
+
+    def __init__(self, dc, neighbors_fn, entry_points_fn, excluded_fn=None,
+                 batch_size: int = 32):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dc = dc
+        self.neighbors_fn = neighbors_fn
+        self.entry_points_fn = entry_points_fn
+        self.excluded_fn = excluded_fn
+        self.batch_size = batch_size
+        self._visited = VisitedTable(1)
+
+    def search_batch(self, queries: np.ndarray, k: int, ef: int) -> list[SearchResult]:
+        """Search all ``queries``; returns one :class:`SearchResult` per row."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        out: list[SearchResult] = []
+        for start in range(0, queries.shape[0], self.batch_size):
+            out.extend(self._search_block(queries[start:start + self.batch_size],
+                                          k, max(ef, k)))
+        return out
+
+    def _search_block(self, block: np.ndarray, k: int, ef: int) -> list[SearchResult]:
+        dc = self.dc
+        n = dc.size
+        n_queries = block.shape[0]
+        excluded = self.excluded_fn() if self.excluded_fn is not None else None
+        excl_arr = (np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+                    if excluded else None)
+
+        prepared = [dc.prepare_query(q) for q in block]
+        qmat = np.array(prepared)
+
+        visited = self._visited
+        visited.grow(n_queries * n)
+        visited.next_epoch()
+
+        entry_lists = []
+        for q in prepared:
+            entries = np.unique(np.asarray(list(self.entry_points_fn(q)),
+                                           dtype=np.int64))
+            if entries.size == 0:
+                raise ValueError("at least one entry point is required")
+            entry_lists.append(entries)
+
+        # Block state.  Rows are physically compacted as queries finish;
+        # ``alive[row]`` maps back to the original block position (which also
+        # keys the visited-table offsets and the prepared-query matrix).
+        # Result pools are *partitioned*, not sorted: column ef-1 always holds
+        # the ef-th smallest distance (the pruning bound); finish() sorts.
+        alive = np.arange(n_queries, dtype=np.int64)
+        res_d = np.full((n_queries, ef), np.inf)
+        res_id = np.full((n_queries, ef), -1, dtype=np.int64)
+        cap = ef + 64
+        pool_d = np.full((n_queries, cap), np.inf)        # unexpanded candidates
+        pool_id = np.full((n_queries, cap), -1, dtype=np.int64)
+        pool_fill = np.zeros(n_queries, dtype=np.int64)   # next free column
+        hops = np.zeros(n_queries, dtype=np.int64)
+        final: list[SearchResult | None] = [None] * n_queries
+
+        def merge_and_admit(rows, nodes, dists):
+            """Fold newly scored (row, node, dist) triples into both pools.
+
+            Mirrors the sequential push loop: results keep the ef best
+            non-excluded nodes; the candidate pool admits nodes strictly
+            inside the bound the row had *before* this batch (extra
+            candidates the evolving sequential bound would have skipped are
+            provably never expanded, so outputs are unaffected).
+            """
+            nonlocal pool_d, pool_id, cap
+            a_rows = alive.shape[0]
+            pre_bound = res_d[rows, ef - 1]
+            # Distances are finite (validated data), so < inf always passes:
+            # rows whose result pool is not yet full admit everything.
+            admit = dists < pre_bound
+
+            # Result pools: top-ef of old ∪ new non-excluded.
+            if excl_arr is not None:
+                relevant = admit & ~np.isin(nodes, excl_arr)
+            else:
+                relevant = admit
+            if relevant.any():
+                r_counts = np.bincount(rows[relevant], minlength=a_rows)
+                m_rows = np.flatnonzero(r_counts)
+                m_counts = r_counts[m_rows]
+                m_starts = np.concatenate(([0], np.cumsum(m_counts)[:-1]))
+                m_ranks = (np.arange(int(relevant.sum()))
+                           - np.repeat(m_starts, m_counts))
+                width = int(m_counts.max())
+                row_of = np.searchsorted(m_rows, rows[relevant])
+                new_d = np.full((m_rows.shape[0], width), np.inf)
+                new_id = np.full((m_rows.shape[0], width), -1, dtype=np.int64)
+                new_d[row_of, m_ranks] = dists[relevant]
+                new_id[row_of, m_ranks] = nodes[relevant]
+                cat_d = np.concatenate((res_d[m_rows], new_d), axis=1)
+                cat_id = np.concatenate((res_id[m_rows], new_id), axis=1)
+                order = np.argpartition(cat_d, ef - 1, axis=1)[:, :ef]
+                take = np.arange(m_rows.shape[0])[:, None]
+                res_d[m_rows] = cat_d[take, order]
+                res_id[m_rows] = cat_id[take, order]
+
+            # Candidate pool admission (bound taken before the merge above).
+            if not admit.any():
+                return
+            p_rows, p_nodes, p_d = rows[admit], nodes[admit], dists[admit]
+            p_counts = np.bincount(p_rows, minlength=a_rows)
+            need = int((pool_fill + p_counts).max())
+            if need > cap:
+                pool_d, pool_id = self._compact_pool(pool_d, pool_id,
+                                                     res_d[:, ef - 1])
+                pool_fill[:] = (pool_id >= 0).sum(axis=1)
+                need = int((pool_fill + p_counts).max())
+                if need > cap:
+                    grow = max(need, 2 * cap) - cap
+                    pool_d = np.pad(pool_d, ((0, 0), (0, grow)),
+                                    constant_values=np.inf)
+                    pool_id = np.pad(pool_id, ((0, 0), (0, grow)),
+                                     constant_values=-1)
+                    cap = pool_d.shape[1]
+            pu = np.flatnonzero(p_counts)
+            pc = p_counts[pu]
+            p_starts = np.concatenate(([0], np.cumsum(pc)[:-1]))
+            p_ranks = np.arange(p_rows.shape[0]) - np.repeat(p_starts, pc)
+            cols = pool_fill[p_rows] + p_ranks
+            pool_d[p_rows, cols] = p_d
+            pool_id[p_rows, cols] = p_nodes
+            pool_fill[pu] += pc
+
+        def finish(rows):
+            """Finalize ``rows`` (current indices) and drop them from state."""
+            nonlocal alive, res_d, res_id, pool_d, pool_id, pool_fill, hops
+            for r in rows.tolist():
+                mask = res_id[r] >= 0
+                d, ids_row = res_d[r][mask], res_id[r][mask]
+                order = np.lexsort((ids_row, d))[:k]
+                final[int(alive[r])] = SearchResult(
+                    ids=ids_row[order], distances=d[order],
+                    n_hops=int(hops[r]))
+            keep = np.ones(alive.shape[0], dtype=bool)
+            keep[rows] = False
+            alive, hops, pool_fill = alive[keep], hops[keep], pool_fill[keep]
+            res_d, res_id = res_d[keep], res_id[keep]
+            pool_d, pool_id = pool_d[keep], pool_id[keep]
+
+        # Entry points: mark visited, score in one call, seed both pools.
+        e_counts = np.array([e.size for e in entry_lists], dtype=np.int64)
+        e_rows = np.repeat(np.arange(n_queries, dtype=np.int64), e_counts)
+        e_nodes = np.concatenate(entry_lists)
+        visited._stamps[e_rows * n + e_nodes] = visited._version
+        e_dists = dc.block_to_queries(e_nodes, qmat, e_rows).astype(
+            np.float64, copy=False)
+        merge_and_admit(e_rows, e_nodes, e_dists)
+
+        int64_max = np.iinfo(np.int64).max
+        while alive.shape[0]:
+            best = pool_d.min(axis=1)
+            bound = res_d[:, ef - 1]
+            done = np.isinf(best) | (best > bound)
+            if done.any():
+                finish(np.flatnonzero(done))
+                if not alive.shape[0]:
+                    break
+                best = best[~done]
+            # Expand the (distance, id)-minimal unexpanded candidate per row.
+            masked_id = np.where(pool_d == best[:, None], pool_id, int64_max)
+            sel_nodes = masked_id.min(axis=1)
+            sel_cols = masked_id.argmin(axis=1)
+            row_range = np.arange(alive.shape[0])
+            pool_d[row_range, sel_cols] = np.inf
+            pool_id[row_range, sel_cols] = -1
+            hops += 1
+
+            neigh = [self.neighbors_fn(int(u)) for u in sel_nodes]
+            counts = np.fromiter((a.size for a in neigh), dtype=np.int64,
+                                 count=len(neigh))
+            if not counts.sum():
+                continue
+            flat_nodes = np.concatenate(neigh)
+            flat_rows = np.repeat(row_range, counts)
+            fresh = visited.filter_unvisited(alive[flat_rows] * n + flat_nodes)
+            if not fresh.size:
+                continue
+            fr_orig = fresh // n                      # original block position
+            fr_nodes = fresh - fr_orig * n
+            fr_rows = np.searchsorted(alive, fr_orig)  # alive is sorted
+            dists = dc.block_to_queries(fr_nodes, qmat, fr_orig).astype(
+                np.float64, copy=False)
+            merge_and_admit(fr_rows, fr_nodes, dists)
+
+        return final  # type: ignore[return-value]
+
+    @staticmethod
+    def _compact_pool(pool_d, pool_id, bound):
+        """Left-align live pool entries, pruning those beyond the bound.
+
+        Entries strictly outside the current result bound can never be
+        expanded (the bound only shrinks), so dropping them preserves the
+        sequential semantics while keeping the pool narrow.
+        """
+        valid = (pool_id >= 0) & (pool_d <= bound[:, None])
+        order = np.argsort(~valid, axis=1, kind="stable")
+        take = np.arange(pool_d.shape[0])[:, None]
+        pool_d = np.where(valid, pool_d, np.inf)[take, order]
+        pool_id = np.where(valid, pool_id, -1)[take, order]
+        return pool_d, pool_id

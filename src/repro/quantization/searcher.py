@@ -9,7 +9,6 @@ cheap lookups are counted separately so benches can report both.
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 
 import numpy as np

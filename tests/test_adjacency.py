@@ -1,6 +1,5 @@
 """AdjacencyStore: base/extra edge semantics, eviction, maintenance hooks."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.adjacency import EH_INFINITE, AdjacencyStore
@@ -130,6 +129,23 @@ class TestMaintenanceHooks:
     def test_drop_fraction_validated(self, store, rng):
         with pytest.raises(ValueError):
             store.drop_extra_fraction(1.5, rng)
+
+    def test_drop_extra_fraction_spares_infinite_eh(self, store, rng):
+        """Regression: RFix navigation edges (EH=inf) must survive a partial
+        rebuild's random drop and keep their never-evict sentinel tag."""
+        store.add_extra_edge(0, 1, eh=EH_INFINITE)
+        store.add_extra_edge(0, 2, eh=EH_INFINITE)
+        store.add_extra_edge(0, 3, eh=3.0)
+        store.add_extra_edge(0, 4, eh=4.0)
+        removed = store.drop_extra_fraction(1.0, rng)
+        assert removed == 2
+        assert store.extra_neighbors(0) == {1: EH_INFINITE, 2: EH_INFINITE}
+
+    def test_drop_extra_fraction_resets_only_finite_eh(self, store, rng):
+        store.add_extra_edge(0, 1, eh=EH_INFINITE)
+        store.add_extra_edge(0, 2, eh=7.0)
+        store.drop_extra_fraction(0.0, rng)
+        assert store.extra_neighbors(0) == {1: EH_INFINITE, 2: 0.0}
 
     def test_remove_node_edges(self, store):
         store.add_base_edge(0, 1)

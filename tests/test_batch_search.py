@@ -1,0 +1,160 @@
+"""Batch engine ≡ sequential search: bit-level ids/distances/NDC equality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import list_datasets, load_dataset
+from repro.distances import DistanceComputer, Metric
+from repro.graphs import HNSW
+from repro.graphs.adjacency import AdjacencyStore
+from repro.graphs.search import BatchSearchEngine, VisitedTable, greedy_search
+
+
+@st.composite
+def world_with_graph(draw):
+    n = draw(st.integers(8, 40))
+    dim = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 2**16))
+    data = np.random.default_rng(seed).standard_normal((n, dim)).astype(np.float32)
+    rng = np.random.default_rng(seed + 1)
+    adjacency = AdjacencyStore(n)
+    deg = draw(st.integers(1, 6))
+    for u in range(n):
+        for v in rng.choice(n, size=min(deg, n - 1), replace=False):
+            if int(v) != u:
+                adjacency.add_base_edge(u, int(v))
+    metric = draw(st.sampled_from(list(Metric)))
+    return data, adjacency, metric, seed
+
+
+def _assert_equivalent(dc, adjacency, queries, k, ef, excluded=None,
+                       entry=0, batch_size=8):
+    """Sequential per-query search and the batch engine must agree bitwise."""
+    visited = VisitedTable(dc.size)
+    dc.reset_ndc()
+    seq = [greedy_search(dc, adjacency.neighbors, [entry], q, k=k, ef=ef,
+                         visited=visited, excluded=excluded) for q in queries]
+    ndc_seq = dc.reset_ndc()
+
+    engine = BatchSearchEngine(dc, adjacency.neighbors, lambda q: [entry],
+                               excluded_fn=lambda: excluded,
+                               batch_size=batch_size)
+    bat = engine.search_batch(np.asarray(queries, dtype=np.float32), k, ef)
+    ndc_bat = dc.reset_ndc()
+
+    assert ndc_seq == ndc_bat
+    for s, b in zip(seq, bat):
+        np.testing.assert_array_equal(s.ids, b.ids)
+        # Bit-level, not allclose: both paths share one distance kernel.
+        np.testing.assert_array_equal(s.distances, b.distances)
+        assert s.n_hops == b.n_hops
+    return seq
+
+
+class TestBatchEquivalenceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(world_with_graph(), st.integers(1, 6), st.integers(1, 24),
+           st.integers(1, 7))
+    def test_matches_sequential_all_metrics(self, world, k, ef, batch_size):
+        data, adjacency, metric, seed = world
+        dc = DistanceComputer(data, metric)
+        queries = np.random.default_rng(seed + 2).standard_normal(
+            (5, data.shape[1])).astype(np.float32)
+        _assert_equivalent(dc, adjacency, queries, k, ef,
+                           batch_size=batch_size)
+
+    @settings(max_examples=25, deadline=None)
+    @given(world_with_graph(), st.integers(1, 5), st.integers(2, 16))
+    def test_matches_sequential_with_tombstones(self, world, k, ef):
+        data, adjacency, metric, seed = world
+        n = data.shape[0]
+        rng = np.random.default_rng(seed + 3)
+        excluded = set(int(v) for v in
+                       rng.choice(n, size=min(5, n - 1), replace=False))
+        dc = DistanceComputer(data, metric)
+        queries = rng.standard_normal((4, data.shape[1])).astype(np.float32)
+        _assert_equivalent(dc, adjacency, queries, k, ef, excluded=excluded)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16), st.sampled_from(list(Metric)))
+    def test_short_results_padding(self, seed, metric):
+        """Entry confined to a 2-node component: both paths return the same
+        short result rows, and search_many pads them with -1/inf."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((12, 3)).astype(np.float32)
+        adjacency = AdjacencyStore(12)
+        adjacency.add_base_edge(0, 1)
+        adjacency.add_base_edge(1, 0)
+        for u in range(2, 12):  # second component, unreachable from 0
+            adjacency.add_base_edge(u, 2 + (u - 1) % 10)
+        dc = DistanceComputer(data, metric)
+        queries = rng.standard_normal((3, 3)).astype(np.float32)
+        seq = _assert_equivalent(dc, adjacency, queries, k=5, ef=8)
+        assert all(len(s.ids) == 2 for s in seq)
+
+
+class TestIndexBatchPaths:
+    def test_search_many_batched_equals_sequential(self, tiny_ds, shared_hnsw):
+        queries = tiny_ds.test_queries[:20]
+        ids_seq, d_seq = shared_hnsw.search_many(queries, k=5, ef=30,
+                                                 batch_size=1)
+        ids_bat, d_bat = shared_hnsw.search_many(queries, k=5, ef=30,
+                                                 batch_size=7)
+        np.testing.assert_array_equal(ids_seq, ids_bat)
+        np.testing.assert_array_equal(d_seq, d_bat)
+
+    def test_search_many_pads_short_rows(self, tiny_ds):
+        index = HNSW(tiny_ds.base[:3], tiny_ds.metric, M=4,
+                     ef_construction=10, single_layer=True, seed=0)
+        ids, dists = index.search_many(tiny_ds.test_queries[:4], k=5, ef=10)
+        assert (ids[:, 3:] == -1).all()
+        assert np.isinf(dists[:, 3:]).all()
+
+    def test_search_batch_ndc_matches_sequential(self, tiny_ds, shared_hnsw):
+        queries = tiny_ds.test_queries[:10]
+        shared_hnsw.dc.reset_ndc()
+        seq = [shared_hnsw.search(q, k=5, ef=25) for q in queries]
+        ndc_seq = shared_hnsw.dc.reset_ndc()
+        bat = shared_hnsw.search_batch(queries, k=5, ef=25, batch_size=4)
+        ndc_bat = shared_hnsw.dc.reset_ndc()
+        assert ndc_seq == ndc_bat
+        for s, b in zip(seq, bat):
+            np.testing.assert_array_equal(s.ids, b.ids)
+            np.testing.assert_array_equal(s.distances, b.distances)
+
+    def test_batch_size_validation(self, tiny_ds, shared_hnsw):
+        with pytest.raises(ValueError):
+            shared_hnsw.search_batch(tiny_ds.test_queries[:2], k=3,
+                                     batch_size=0)
+        with pytest.raises(ValueError):
+            shared_hnsw.search_batch(tiny_ds.test_queries[:2], k=0)
+
+    def test_clone_does_not_share_engine(self, tiny_ds, shared_hnsw):
+        shared_hnsw.search_batch(tiny_ds.test_queries[:4], k=3, ef=10)
+        copy = shared_hnsw.clone()
+        assert copy._batch_engine is None
+        r1 = shared_hnsw.search_batch(tiny_ds.test_queries[:4], k=3, ef=10)
+        r2 = copy.search_batch(tiny_ds.test_queries[:4], k=3, ef=10)
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a.ids, b.ids)
+
+
+@pytest.mark.parametrize("name", list_datasets())
+def test_registry_dataset_equivalence(name):
+    """Acceptance: batched ≡ sequential (ids, distances, NDC) on every
+    registry dataset."""
+    ds = load_dataset(name, seed=0, scale=0.25)
+    index = HNSW(ds.base, ds.metric, M=8, ef_construction=40,
+                 single_layer=True, seed=3)
+    queries = ds.test_queries[:20]
+    index.dc.reset_ndc()
+    seq = [index.search(q, k=10, ef=50) for q in queries]
+    ndc_seq = index.dc.reset_ndc()
+    bat = index.search_batch(queries, k=10, ef=50, batch_size=8)
+    ndc_bat = index.dc.reset_ndc()
+    assert ndc_seq == ndc_bat
+    for s, b in zip(seq, bat):
+        np.testing.assert_array_equal(s.ids, b.ids)
+        np.testing.assert_array_equal(s.distances, b.distances)
+        assert s.n_hops == b.n_hops

@@ -13,7 +13,7 @@ from repro.core import (
     ngfix_plus_query,
 )
 from repro.core.ngfix_plus import perturb_within_ball
-from repro.evalx import compute_ground_truth, recall_at_k
+from repro.evalx import recall_at_k
 from repro.graphs import HNSW
 
 
@@ -142,6 +142,16 @@ class TestHashCache:
         with pytest.raises(ValueError):
             cache.put(np.zeros(2, dtype=np.float32), np.arange(3), np.arange(2.0))
 
+    def test_drop_if_contains_evicts_only_stale_entries(self):
+        cache = HashTableCache()
+        q1, q2 = np.ones(4, dtype=np.float32), np.zeros(4, dtype=np.float32)
+        cache.put(q1, np.array([1, 2, 3]), np.array([0.1, 0.2, 0.3]))
+        cache.put(q2, np.array([4, 5, 6]), np.array([0.1, 0.2, 0.3]))
+        assert cache.drop_if_contains([2]) == 1
+        assert cache.get(q1, k=3) is None
+        assert cache.get(q2, k=3) is not None
+        assert cache.drop_if_contains([]) == 0
+
 
 class TestCachedSearcher:
     def test_hit_skips_index_and_is_exact(self, tiny_ds, shared_hnsw, tiny_train_gt):
@@ -158,6 +168,27 @@ class TestCachedSearcher:
         r = searcher.search(tiny_ds.test_queries[0], k=5, ef=20)
         assert len(r.ids) == 5
         assert searcher.cache.misses == 1
+
+    def test_invalidate_drops_cached_answers(self, tiny_ds, shared_hnsw):
+        searcher = CachedSearcher(shared_hnsw)
+        query = tiny_ds.test_queries[0]
+        r = searcher.search(query, k=5, ef=20)
+        searcher.cache.put(query, r.ids, r.distances)
+        assert searcher.invalidate([int(r.ids[0])]) == 1
+        assert len(searcher.cache) == 0
+
+    def test_stale_hit_never_returns_deleted_id(self, tiny_ds, fresh_hnsw):
+        """Regression: a cached-then-deleted id must not reappear even when
+        the deletion bypassed invalidate() (tombstone guard at hit time)."""
+        searcher = CachedSearcher(fresh_hnsw)
+        query = tiny_ds.test_queries[0]
+        r = searcher.search(query, k=5, ef=20)
+        searcher.cache.put(query, r.ids, r.distances)
+        victim = int(r.ids[0])
+        fresh_hnsw.adjacency.tombstones.add(victim)
+        again = searcher.search(query, k=5, ef=20)
+        assert victim not in again.ids.tolist()
+        assert len(searcher.cache) == 0  # stale entry was purged
 
 
 class TestAdaptiveSearcher:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import FixConfig, NGFixer
-from repro.evalx import compute_ground_truth, evaluate_index, recall_at_k
+from repro.evalx import evaluate_index, recall_at_k
 from repro.graphs import HNSW
 
 

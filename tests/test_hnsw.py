@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.distances import Metric
 from repro.evalx import compute_ground_truth, recall_at_k
 from repro.graphs import HNSW
 from repro.graphs.exact import is_strongly_connected

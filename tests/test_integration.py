@@ -1,7 +1,6 @@
 """Cross-module integration: the full NGFix* pipeline on registry datasets,
 the paper's comparative orderings at miniature scale, and the public API."""
 
-import numpy as np
 import pytest
 
 import repro

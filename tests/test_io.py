@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import FixConfig, NGFixer, load_index, save_index
-from repro.core import IndexMaintainer
 from repro.io import FrozenIndex
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import IVFFlat
-from repro.evalx import compute_ground_truth, recall_at_k, tune_fix_config
+from repro.evalx import recall_at_k, tune_fix_config
 
 
 class TestIVFFlat:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import FixConfig, IndexMaintainer, NGFixer
-from repro.evalx import compute_ground_truth, recall_at_k
+from repro.evalx import recall_at_k
 from repro.graphs import HNSW, NSG
 
 
@@ -75,6 +75,19 @@ class TestInsertion:
         with pytest.raises(ValueError):
             maintainer.partial_rebuild(proportion=1.5)
 
+    def test_partial_rebuild_preserves_rfix_edges(self, tiny_ds):
+        """Regression: EH=inf RFix navigation edges survive the rebuild's
+        random edge drop with their sentinel tag intact."""
+        from repro.graphs.adjacency import EH_INFINITE
+        fixer = _fixer(tiny_ds)
+        u = 0
+        v = next(x for x in range(1, fixer.dc.size)
+                 if not fixer.adjacency.has_edge(u, x))
+        assert fixer.adjacency.add_extra_edge(u, v, eh=EH_INFINITE)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40], seed=0)
+        maintainer.partial_rebuild(proportion=0.0, drop_fraction=1.0)
+        assert fixer.adjacency.extra_neighbors(u).get(v) == EH_INFINITE
+
 
 class TestDeletion:
     def test_lazy_deletion_excludes_from_results(self, tiny_ds):
@@ -138,6 +151,23 @@ class TestDeletion:
         fixer = _fixer(tiny_ds)
         maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:10])
         assert maintainer.compact()["deleted"] == 0
+
+    def test_delete_invalidates_attached_cache(self, tiny_ds):
+        """Regression: cached answers referencing a deleted id are evicted at
+        tombstone time, so the searcher never resurrects the point."""
+        from repro.core.hash_cache import CachedSearcher
+        fixer = _fixer(tiny_ds)
+        searcher = CachedSearcher(fixer)
+        maintainer = IndexMaintainer(fixer, tiny_ds.train_queries[:40],
+                                     compact_threshold=0.5, cache=searcher)
+        query = tiny_ds.test_queries[0]
+        first = searcher.search(query, k=5, ef=20)
+        searcher.cache.put(query, first.ids, first.distances)
+        victim = int(first.ids[0])
+        maintainer.delete([victim])
+        assert len(searcher.cache) == 0
+        again = searcher.search(query, k=5, ef=20)
+        assert victim not in again.ids.tolist()
 
     def test_entry_point_moved_if_deleted(self, tiny_ds):
         fixer = _fixer(tiny_ds)

@@ -1,7 +1,6 @@
 """Property-based tests on cross-module invariants (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.escape_hardness import escape_hardness

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.distances import DistanceComputer, Metric, pairwise_distances
+from repro.distances import DistanceComputer, Metric
 from repro.graphs.pruning import (
     alpha_prune,
     mrng_prune,

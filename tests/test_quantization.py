@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.distances import Metric
-from repro.evalx import compute_ground_truth, recall_at_k
+from repro.evalx import recall_at_k
 from repro.quantization import PQRerankSearcher, ProductQuantizer, kmeans
 
 

@@ -1,7 +1,6 @@
 """RFix (Algorithm 4): reachability repair for phase-1 failures."""
 
 import numpy as np
-import pytest
 
 from repro.core.rfix import rfix_query, search_reaches_vicinity
 from repro.distances import DistanceComputer, Metric

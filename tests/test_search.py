@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.distances import DistanceComputer, Metric
-from repro.graphs.search import SearchResult, VisitedTable, greedy_search
+from repro.graphs.search import VisitedTable, greedy_search
 
 
 def _line_graph(n=10):
@@ -163,6 +163,52 @@ class TestSearchOptions:
 
         result = greedy_search(dc, neighbors, [1], np.zeros(1, np.float32), k=1, ef=2)
         assert result.ids.tolist() == [1]
+
+
+class TestVisitedTableGrowth:
+    """Regression: a reused VisitedTable predating incremental insertion must
+    grow before stamping, or searching toward new ids raises IndexError."""
+
+    def test_reused_table_grows_after_append(self):
+        data = np.arange(5, dtype=np.float32)[:, None]
+        dc = DistanceComputer(data, Metric.L2)
+        adj = {i: [j for j in (i - 1, i + 1) if 0 <= j < 5] for i in range(5)}
+
+        def neighbors(u):
+            return np.array(adj.get(u, []), dtype=np.int64)
+
+        table = VisitedTable(dc.size)
+        greedy_search(dc, neighbors, [0], np.array([3.0], np.float32),
+                      k=1, ef=2, visited=table)
+        new_id = dc.append(np.array([[5.0]], np.float32))
+        adj[4].append(new_id)
+        adj[new_id] = [4]
+        result = greedy_search(dc, neighbors, [new_id],
+                               np.array([5.0], np.float32),
+                               k=1, ef=2, visited=table)
+        assert result.ids[0] == new_id
+
+    def test_index_search_after_external_append(self):
+        """GraphIndex.search reuses self._visited across incremental
+        insertions done via dc.append + adjacency.grow."""
+        from repro.graphs.base import GraphIndex
+
+        class _Fixed(GraphIndex):
+            def entry_points(self, query):
+                return [0]
+
+        data = np.arange(4, dtype=np.float32)[:, None]
+        index = _Fixed(data, Metric.L2)
+        for u in range(3):
+            index.adjacency.add_base_edge(u, u + 1)
+            index.adjacency.add_base_edge(u + 1, u)
+        index.search(np.array([2.0], np.float32), k=1, ef=2)
+        new_id = index.dc.append(np.array([[4.0]], np.float32))
+        index.adjacency.grow(1)
+        index.adjacency.add_base_edge(3, new_id)
+        index.adjacency.add_base_edge(new_id, 3)
+        result = index.search(np.array([4.0], np.float32), k=1, ef=4)
+        assert result.ids[0] == new_id
 
 
 class TestDisconnectedGraph:

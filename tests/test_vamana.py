@@ -5,7 +5,6 @@ import pytest
 
 from repro.evalx import compute_ground_truth, recall_at_k
 from repro.graphs import RobustVamana, Vamana
-from repro.graphs.exact import is_strongly_connected
 
 
 def _recall_of(index, queries, gt, k, ef):

@@ -84,6 +84,22 @@ class TestWorkloadAdapter:
         assert report["replayed"] == 20
         assert fixer.adjacency.n_extra_edges() > 0
 
+    def test_refresh_preserves_rfix_edges(self, drift):
+        """Regression: the refresh cycle's edge drop must never remove EH=inf
+        RFix navigation edges nor reset their sentinel tag."""
+        from repro.graphs.adjacency import EH_INFINITE
+        fixer = _fixer(drift)
+        fixer.fit(drift.phases[0][:20])
+        u = 0
+        v = next(x for x in range(1, fixer.dc.size)
+                 if not fixer.adjacency.has_edge(u, x))
+        assert fixer.adjacency.add_extra_edge(u, v, eh=EH_INFINITE)
+        adapter = WorkloadAdapter(fixer, refresh_interval=10_000, window=5,
+                                  refresh_drop_fraction=1.0)
+        adapter.observe_batch(drift.phases[1][:5])
+        adapter.refresh()
+        assert fixer.adjacency.extra_neighbors(u).get(v) == EH_INFINITE
+
     def test_search_passthrough(self, drift):
         fixer = _fixer(drift)
         adapter = WorkloadAdapter(fixer)
