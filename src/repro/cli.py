@@ -28,6 +28,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--k", type=int, default=10,
                         help="neighbors per query")
+    parser.add_argument("--n-workers", type=int, default=1,
+                        help="fork-pool width for offline stages (ground "
+                             "truth, parallel construction, NGFix "
+                             "preprocessing, evaluation); results are "
+                             "identical for any value")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,16 +92,17 @@ def _build_index(args, ds):
         return HNSW(ds.base, ds.metric, M=12, ef_construction=60,
                     single_layer=True, seed=args.seed)
     if args.index == "nsg":
-        return NSG(ds.base, ds.metric, R=24, L=60)
+        return NSG(ds.base, ds.metric, R=24, L=60, n_workers=args.n_workers)
     if args.index == "roargraph":
         return RoarGraph(ds.base, ds.metric, ds.train_queries, M=24,
-                         n_query_neighbors=32)
+                         n_query_neighbors=32, n_workers=args.n_workers)
     if args.index == "vamana":
         return Vamana(ds.base, ds.metric, R=24, L=60, seed=args.seed)
     if args.index == "robust-vamana":
         return RobustVamana(ds.base, ds.metric, ds.train_queries, R=24, L=60,
                             seed=args.seed)
-    return TauMNG(ds.base, ds.metric, R=24, L=60, tau=0.01)
+    return TauMNG(ds.base, ds.metric, R=24, L=60, tau=0.01,
+                  n_workers=args.n_workers)
 
 
 def _cmd_datasets(args) -> int:
@@ -132,7 +138,8 @@ def _cmd_fix(args) -> int:
                 single_layer=True, seed=args.seed)
     fixer = NGFixer(base, FixConfig(
         k=args.k, preprocess=args.preprocess,
-        max_extra_degree=args.max_extra_degree))
+        max_extra_degree=args.max_extra_degree,
+        n_workers=args.n_workers))
     fixer.fit(ds.train_queries)
     stats = fixer.stats()
     print(f"fixed {stats['queries_fixed']} historical queries: "
@@ -155,13 +162,15 @@ def _cmd_evaluate(args) -> int:
     else:
         base = HNSW(ds.base, ds.metric, M=12, ef_construction=60,
                     single_layer=True, seed=args.seed)
-        index = NGFixer(base, FixConfig(k=args.k, preprocess="approx"))
+        index = NGFixer(base, FixConfig(k=args.k, preprocess="approx",
+                                        n_workers=args.n_workers))
         index.fit(ds.train_queries)
         label = "HNSW-NGFix* (freshly built)"
-    gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric)
+    gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric,
+                              n_workers=args.n_workers)
     points = sweep(index, ds.test_queries, gt, args.k,
                    [max(ef, args.k) for ef in args.efs],
-                   batch_size=args.batch_size)
+                   batch_size=args.batch_size, n_workers=args.n_workers)
     rows = [(p.ef, round(p.recall, 4), round(p.rderr, 6), round(p.qps, 1),
              round(p.ndc_per_query, 1)) for p in points]
     print(format_table(["ef", "recall", "rderr", "QPS", "NDC/query"], rows,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.evalx.ground_truth import GroundTruth
 from repro.evalx.metrics import recall_per_query, rderr_per_query
+from repro.utils.parallel import chunk_bounds, effective_workers, parallel_map
 from repro.utils.validation import check_positive
 
 
@@ -41,12 +42,15 @@ def evaluate_index(
     k: int,
     ef: int,
     batch_size: int = 1,
+    n_workers: int = 1,
 ) -> OperatingPoint:
     """Run every query at one ef setting and aggregate metrics.
 
     ``batch_size > 1`` routes queries through the index's batch engine
-    (``search_batch``); recall, rderr, and NDC are identical to the
-    sequential path — only wall-clock QPS changes.
+    (``search_batch``); ``n_workers > 1`` additionally spreads query chunks
+    over a fork pool (each worker reads the same frozen graph).  Recall,
+    rderr, and NDC are identical on every path — only wall-clock QPS
+    changes.
     """
     check_positive(k, "k")
     check_positive(batch_size, "batch_size")
@@ -56,24 +60,47 @@ def evaluate_index(
     if queries.shape[0] != gt.n_queries:
         raise ValueError("query count differs from ground truth")
     gt_k = gt.top(k)
+    n_queries = queries.shape[0]
 
-    found_ids = np.empty((queries.shape[0], k), dtype=np.int64)
-    found_d = np.empty((queries.shape[0], k), dtype=np.float64)
+    found_ids = np.empty((n_queries, k), dtype=np.int64)
+    found_d = np.empty((n_queries, k), dtype=np.float64)
+
+    def run_chunk(bounds: tuple[int, int]):
+        start, stop = bounds
+        c_ids = np.empty((stop - start, k), dtype=np.int64)
+        c_d = np.empty((stop - start, k), dtype=np.float64)
+        ndc0 = index.dc.ndc
+        if batch_size > 1:
+            results = index.search_batch(queries[start:stop], k, ef,
+                                         batch_size=batch_size)
+        else:
+            results = (index.search(query, k=k, ef=ef)
+                       for query in queries[start:stop])
+        for i, result in enumerate(results):
+            m = min(k, len(result.ids))
+            c_ids[i, :m] = result.ids[:m]
+            c_d[i, :m] = result.distances[:m]
+            if m < k:  # pad short results with sentinel misses
+                c_ids[i, m:] = -1
+                c_d[i, m:] = np.inf
+        ndc_delta = index.dc.ndc - ndc0
+        index.dc.ndc = ndc0
+        return c_ids, c_d, ndc_delta
+
+    workers = effective_workers(n_workers)
+    if workers > 1:
+        bounds = chunk_bounds(n_queries, max(1, -(-n_queries // (4 * workers))))
+    else:
+        bounds = [(0, n_queries)]
     index.dc.reset_ndc()
     start = time.perf_counter()
-    if batch_size > 1:
-        results = index.search_batch(queries, k, ef, batch_size=batch_size)
-    else:
-        results = (index.search(query, k=k, ef=ef) for query in queries)
-    for i, result in enumerate(results):
-        m = min(k, len(result.ids))
-        found_ids[i, :m] = result.ids[:m]
-        found_d[i, :m] = result.distances[:m]
-        if m < k:  # pad short results with sentinel misses
-            found_ids[i, m:] = -1
-            found_d[i, m:] = np.inf
+    chunks = parallel_map(run_chunk, bounds, n_workers=n_workers)
     elapsed = time.perf_counter() - start
-    ndc = index.dc.reset_ndc()
+    ndc = 0
+    for (c_start, c_stop), (c_ids, c_d, ndc_delta) in zip(bounds, chunks):
+        found_ids[c_start:c_stop] = c_ids
+        found_d[c_start:c_stop] = c_d
+        ndc += ndc_delta
 
     recall = float(recall_per_query(found_ids, gt_k.ids).mean())
     finite = np.isfinite(found_d).all(axis=1)
@@ -99,6 +126,7 @@ def sweep(
     ef_values: list[int] | None = None,
     stop_at_recall: float = 0.999,
     batch_size: int = 1,
+    n_workers: int = 1,
 ) -> list[OperatingPoint]:
     """Evaluate an increasing ef schedule, stopping once recall saturates.
 
@@ -112,7 +140,8 @@ def sweep(
             ef = max(ef + 10, int(ef * 1.5))
     points = []
     for ef in ef_values:
-        point = evaluate_index(index, queries, gt, k, ef, batch_size=batch_size)
+        point = evaluate_index(index, queries, gt, k, ef,
+                               batch_size=batch_size, n_workers=n_workers)
         points.append(point)
         if point.recall >= stop_at_recall:
             break

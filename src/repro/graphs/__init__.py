@@ -14,6 +14,7 @@ scratch:
 """
 
 from repro.graphs.adjacency import AdjacencyStore
+from repro.graphs.csr import CSRGraphView
 from repro.graphs.search import SearchResult, VisitedTable, greedy_search
 from repro.graphs.base import GraphIndex, BruteForceIndex
 from repro.graphs.pruning import (
@@ -41,6 +42,7 @@ from repro.graphs.exact import exact_rng, exact_mrng, exact_knn_graph, delaunay_
 
 __all__ = [
     "AdjacencyStore",
+    "CSRGraphView",
     "SearchResult",
     "VisitedTable",
     "greedy_search",

@@ -6,23 +6,43 @@ NSG, …) and ``E_extra`` is added by NGFix/RFix.  Extra edges carry their
 Escape Hardness value (the paper stores 16 bits per extra edge) which drives
 eviction when a node's extra out-degree budget is exhausted, and partial
 rebuilds drop only extra edges.  Tombstones implement lazy deletion.
+
+Two read paths coexist:
+
+- the **dynamic** path (``neighbors``/per-node caches) serves construction
+  and fixing, where edges mutate constantly;
+- the **frozen** path (:meth:`freeze` → :class:`~repro.graphs.csr.CSRGraphView`)
+  serves the query hot path: a contiguous CSR snapshot whose bulk gather
+  lets the batch engine expand a whole frontier with array ops.  Every
+  mutation marks the snapshot dirty; :meth:`traversal` refreezes once reads
+  settle (see its docstring), so callers transparently get whichever
+  representation is currently profitable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs.csr import CSRGraphView
+
 _EMPTY = np.empty(0, dtype=np.int64)
 
 # Sentinel EH for edges that must never be evicted (RFix navigation edges).
 EH_INFINITE = float("inf")
+
+# Consecutive clean reads after which a dirty store refreezes its CSR view.
+# A fixing loop that alternates search and edge mutation never reaches the
+# threshold (refreezing per mutation would cost O(E) each time), while a
+# query-serving phase crosses it on its second search and stays frozen.
+FREEZE_AFTER_READS = 2
 
 
 class AdjacencyStore:
     """Per-node base neighbors, extra neighbors (with EH tags), tombstones.
 
     The combined neighbor array of each node is cached as a NumPy array for
-    the search hot path and invalidated on mutation.
+    the dynamic search path and invalidated on mutation; a whole-graph CSR
+    snapshot (:meth:`freeze`) serves the batched query path.
     """
 
     def __init__(self, n_nodes: int):
@@ -32,6 +52,22 @@ class AdjacencyStore:
         self._extra: list[dict[int, float]] = [{} for _ in range(n_nodes)]
         self._cache: list[np.ndarray | None] = [None] * n_nodes
         self.tombstones: set[int] = set()
+        # Freeze bookkeeping: a monotone mutation counter, the per-node stamp
+        # of the last mutation that touched each node's out-edges (used by
+        # the parallel fixer to validate speculative EH results), the cached
+        # frozen view, and the clean-read counter driving refreeze.
+        self._mutation_version = 0
+        self._node_stamp = np.zeros(n_nodes, dtype=np.int64)
+        self._frozen: CSRGraphView | None = None
+        self._reads_since_mutation = 0
+
+    def _touch(self, u: int) -> None:
+        """Record a mutation of node ``u``'s out-edges."""
+        self._cache[u] = None
+        self._mutation_version += 1
+        self._node_stamp[u] = self._mutation_version
+        self._frozen = None
+        self._reads_since_mutation = 0
 
     # -- size bookkeeping ---------------------------------------------------
 
@@ -43,16 +79,23 @@ class AdjacencyStore:
         """Append ``n_new`` isolated nodes (for incremental insertion)."""
         if n_new < 0:
             raise ValueError(f"n_new must be non-negative, got {n_new}")
+        if n_new == 0:
+            return
         self._base.extend([] for _ in range(n_new))
         self._extra.extend({} for _ in range(n_new))
         self._cache.extend([None] * n_new)
+        self._node_stamp = np.concatenate(
+            [self._node_stamp, np.zeros(n_new, dtype=np.int64)])
+        self._mutation_version += 1
+        self._frozen = None
+        self._reads_since_mutation = 0
 
     # -- edge mutation --------------------------------------------------------
 
     def set_base_neighbors(self, u: int, neighbors) -> None:
         """Replace node ``u``'s base neighbor list."""
         self._base[u] = [int(v) for v in neighbors if int(v) != u]
-        self._cache[u] = None
+        self._touch(u)
 
     def add_base_edge(self, u: int, v: int) -> bool:
         """Add base edge u->v; returns False if it already existed."""
@@ -60,7 +103,7 @@ class AdjacencyStore:
         if u == v or v in self._base[u]:
             return False
         self._base[u].append(v)
-        self._cache[u] = None
+        self._touch(u)
         return True
 
     def add_extra_edge(self, u: int, v: int, eh: float) -> bool:
@@ -81,14 +124,14 @@ class AdjacencyStore:
         if v in self._base[u]:
             return False
         self._extra[u][v] = eh
-        self._cache[u] = None
+        self._touch(u)
         return True
 
     def remove_extra_edge(self, u: int, v: int) -> bool:
         """Remove extra edge u->v if present."""
         if self._extra[u].pop(v, None) is None:
             return False
-        self._cache[u] = None
+        self._touch(u)
         return True
 
     def evict_lowest_eh(self, u: int) -> tuple[int, float] | None:
@@ -97,24 +140,43 @@ class AdjacencyStore:
         Paper Algorithm 3 lines 13-16: when the extra-degree budget is
         exceeded, edges whose EH is low (i.e. edges that were easy to do
         without) are pruned first.  Infinite-EH edges (RFix) are never
-        evicted.  Returns the evicted (target, eh) or None.
+        evicted.  Ties break toward the smaller target id.  Returns the
+        evicted (target, eh) or None.
         """
-        finite = [(eh, v) for v, eh in self._extra[u].items() if eh != EH_INFINITE]
-        if not finite:
+        best_v = -1
+        best_eh = EH_INFINITE
+        for v, eh in self._extra[u].items():
+            if eh < best_eh or (eh == best_eh and eh != EH_INFINITE
+                                and (best_v < 0 or v < best_v)):
+                best_v, best_eh = v, eh
+        if best_v < 0 or best_eh == EH_INFINITE:
             return None
-        eh, v = min(finite)
-        del self._extra[u][v]
-        self._cache[u] = None
-        return v, eh
+        del self._extra[u][best_v]
+        self._touch(u)
+        return best_v, best_eh
 
     # -- reads ----------------------------------------------------------------
 
     def base_neighbors(self, u: int) -> list[int]:
+        """Base neighbors of ``u`` as a defensive copy (safe to mutate)."""
         return list(self._base[u])
 
     def extra_neighbors(self, u: int) -> dict[int, float]:
         """Extra neighbors of ``u`` mapped to their EH tags (copy)."""
         return dict(self._extra[u])
+
+    def base_neighbors_ro(self, u: int) -> list[int]:
+        """Node ``u``'s *internal* base list — read-only, never mutate.
+
+        Hot-path variant of :meth:`base_neighbors`: construction loops read
+        neighbor lists thousands of times per node, and the defensive copy
+        dominated those call sites.
+        """
+        return self._base[u]
+
+    def extra_neighbors_ro(self, u: int) -> dict[int, float]:
+        """Node ``u``'s *internal* extra dict — read-only, never mutate."""
+        return self._extra[u]
 
     def neighbors(self, u: int) -> np.ndarray:
         """Combined base+extra out-neighbors as an int64 array (cached)."""
@@ -128,11 +190,88 @@ class AdjacencyStore:
     def out_degree(self, u: int) -> int:
         return len(self._base[u]) + len(self._extra[u])
 
+    def base_degree(self, u: int) -> int:
+        return len(self._base[u])
+
     def extra_degree(self, u: int) -> int:
         return len(self._extra[u])
 
     def has_edge(self, u: int, v: int) -> bool:
         return v in self._extra[u] or v in self._base[u]
+
+    # -- frozen CSR snapshot ---------------------------------------------------
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotone counter incremented by every edge mutation."""
+        return self._mutation_version
+
+    def last_touched(self, nodes) -> int:
+        """Largest mutation stamp among ``nodes``'s out-edge sets.
+
+        ``last_touched(nodes) <= v0`` certifies that no node in ``nodes``
+        changed its out-edges after the store was at version ``v0`` — the
+        validity condition for Escape Hardness matrices computed against a
+        snapshot (EH depends only on the NN set's out-edges).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return 0
+        return int(self._node_stamp[nodes].max())
+
+    def freeze(self) -> CSRGraphView:
+        """Build (and cache) the CSR snapshot of the combined adjacency.
+
+        Neighbor order per node matches :meth:`neighbors` exactly (base
+        edges in list order, then extra edges in insertion order), so any
+        search over the view is bit-identical to the dynamic path.
+        """
+        if self._frozen is not None:
+            return self._frozen
+        n = self.n_nodes
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        counts = np.fromiter(
+            (len(b) + len(e) for b, e in zip(self._base, self._extra)),
+            dtype=np.int32, count=n)
+        np.cumsum(counts, out=indptr[1:])
+        n_edges = int(indptr[-1])
+        indices = np.empty(n_edges, dtype=np.int32)
+        edge_eh = np.full(n_edges, np.nan)
+        pos = 0
+        for base, extra in zip(self._base, self._extra):
+            nb = len(base)
+            if nb:
+                indices[pos:pos + nb] = base
+                pos += nb
+            if extra:
+                ne = len(extra)
+                indices[pos:pos + ne] = list(extra.keys())
+                edge_eh[pos:pos + ne] = list(extra.values())
+                pos += ne
+        self._frozen = CSRGraphView(indptr, indices, edge_eh)
+        return self._frozen
+
+    def csr_view(self) -> CSRGraphView | None:
+        """The cached frozen view if it is current, else None (no refreeze)."""
+        return self._frozen
+
+    def traversal(self) -> CSRGraphView | None:
+        """The traversal source the read path should use *right now*.
+
+        Returns the frozen CSR view when one is current.  When the store is
+        dirty, each call counts as one clean read; after
+        ``FREEZE_AFTER_READS`` consecutive reads with no interleaved
+        mutation the store refreezes (an O(E) rebuild) and returns the
+        fresh view.  Until then it returns None and the caller falls back
+        to the dynamic :meth:`neighbors` path — which keeps fixing loops
+        (mutate, search, mutate, …) from thrashing O(E) refreezes.
+        """
+        if self._frozen is not None:
+            return self._frozen
+        self._reads_since_mutation += 1
+        if self._reads_since_mutation >= FREEZE_AFTER_READS:
+            return self.freeze()
+        return None
 
     # -- aggregates -----------------------------------------------------------
 
@@ -180,7 +319,7 @@ class AdjacencyStore:
         for u, v in targets:
             if v in self._extra[u]:
                 self._extra[u][v] = 0.0
-            self._cache[u] = None
+            self._touch(u)
         return n_drop
 
     def remove_node_edges(self, deleted: set[int]) -> None:
@@ -194,17 +333,17 @@ class AdjacencyStore:
             if u in deleted:
                 self._base[u] = []
                 self._extra[u] = {}
-                self._cache[u] = None
+                self._touch(u)
                 continue
             base = [v for v in self._base[u] if v not in deleted]
             if len(base) != len(self._base[u]):
                 self._base[u] = base
-                self._cache[u] = None
+                self._touch(u)
             extra_hits = [v for v in self._extra[u] if v in deleted]
             for v in extra_hits:
                 del self._extra[u][v]
             if extra_hits:
-                self._cache[u] = None
+                self._touch(u)
 
     def copy(self) -> "AdjacencyStore":
         """Deep copy (used by ablation benches to fork a base graph)."""
@@ -212,4 +351,6 @@ class AdjacencyStore:
         out._base = [list(lst) for lst in self._base]
         out._extra = [dict(d) for d in self._extra]
         out.tombstones = set(self.tombstones)
+        out._mutation_version = self._mutation_version
+        out._node_stamp = self._node_stamp.copy()
         return out

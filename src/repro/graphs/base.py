@@ -58,6 +58,21 @@ class GraphIndex(abc.ABC):
     def entry_points(self, query: np.ndarray) -> list[int]:
         """Starting node ids for a (prepared) query."""
 
+    def freeze(self):
+        """Force a frozen CSR snapshot of the adjacency (see AdjacencyStore)."""
+        return self.adjacency.freeze()
+
+    def _neighbors_fn(self):
+        """The traversal callable for the current store state.
+
+        The frozen :class:`~repro.graphs.csr.CSRGraphView` when one is
+        available under the store's refreeze policy (it is callable), the
+        dynamic per-node path otherwise.  Either returns the same neighbor
+        sequence per node, so search results are identical.
+        """
+        view = self.adjacency.traversal()
+        return view if view is not None else self.adjacency.neighbors
+
     def search(self, query: np.ndarray, k: int, ef: int | None = None,
                collect_visited: bool = False) -> SearchResult:
         """Greedy-search the bottom layer for the top-``k`` neighbors."""
@@ -67,7 +82,7 @@ class GraphIndex(abc.ABC):
         excluded = self.adjacency.tombstones or None
         return greedy_search(
             self.dc,
-            self.adjacency.neighbors,
+            self._neighbors_fn(),
             self.entry_points(q),
             q,
             k=k,
@@ -88,6 +103,7 @@ class GraphIndex(abc.ABC):
                 self.entry_points,
                 excluded_fn=lambda: self.adjacency.tombstones or None,
                 batch_size=batch_size,
+                graph_fn=self.adjacency.traversal,
             )
             self._batch_engine = engine
         return engine

@@ -1,0 +1,85 @@
+"""Frozen CSR snapshot of an :class:`~repro.graphs.adjacency.AdjacencyStore`.
+
+The dynamic store keeps per-node Python lists/dicts so NGFix/RFix can mutate
+edges cheaply, but the query hot path only *reads* the graph.  A
+:class:`CSRGraphView` packs the combined base+extra adjacency into two
+contiguous ``int32`` arrays (``indptr``/``indices``, DiskANN/Vamana style)
+plus a parallel per-edge EH-tag array, so
+
+- per-node reads are an O(1) slice (no cache checks, no dict walks), and
+- a whole batch frontier is gathered with one :meth:`neighbors_block` call
+  instead of one Python call per expanded node.
+
+Neighbor order inside a node is exactly the dynamic store's order (base
+edges first, then extra edges in insertion order), which keeps every search
+over the view bit-identical to a search over the live store.  The view is a
+*snapshot*: mutations to the originating store do not show through — the
+store marks its cached view dirty and refreezes on demand (see
+``AdjacencyStore.traversal``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY_I32 = np.empty(0, dtype=np.int32)
+
+
+class CSRGraphView:
+    """Read-only CSR adjacency: ``indices[indptr[u]:indptr[u+1]]`` = out(u).
+
+    ``edge_eh[e]`` carries the Escape Hardness tag of the extra edge stored
+    at ``indices[e]`` (NaN for base edges, which carry no tag).  The view is
+    callable with a node id so it can stand in for any ``neighbors_fn``.
+    """
+
+    __slots__ = ("indptr", "indices", "edge_eh", "n_nodes", "n_edges")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 edge_eh: np.ndarray):
+        if indptr.ndim != 1 or indptr.shape[0] == 0:
+            raise ValueError("indptr must be a non-empty 1-d array")
+        if indices.shape[0] != edge_eh.shape[0]:
+            raise ValueError("indices and edge_eh must align")
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_eh = edge_eh
+        self.n_nodes = indptr.shape[0] - 1
+        self.n_edges = indices.shape[0]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbors of ``u`` as a zero-copy slice of ``indices``."""
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+    # A view is drop-in for the ``neighbors_fn`` callables search takes.
+    __call__ = neighbors
+
+    def neighbors_block(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk gather: concatenated out-neighbors of ``nodes`` + per-node counts.
+
+        Returns ``(flat, counts)`` where ``flat`` holds the neighbors of
+        ``nodes[0]``, then ``nodes[1]``, … (each in CSR order) and
+        ``counts[i]`` is the out-degree of ``nodes[i]``.  One fancy-index
+        gather replaces a Python-level call per node.
+        """
+        starts = self.indptr[nodes]
+        counts = (self.indptr[np.asarray(nodes) + 1] - starts).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY_I32, counts
+        # Position e of the output maps to starts[i] + (e - first_out[i]) for
+        # the node i owning slot e; np.repeat broadcasts the per-node offset.
+        first_out = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        flat_pos = np.repeat(starts - first_out, counts) + np.arange(total)
+        return self.indices[flat_pos], counts
+
+    def out_degree(self, u: int) -> int:
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def extra_edge_mask(self) -> np.ndarray:
+        """Boolean mask over edges: True where the edge carries an EH tag."""
+        return ~np.isnan(self.edge_eh)
+
+    def nbytes(self) -> int:
+        """Memory footprint of the snapshot arrays."""
+        return self.indptr.nbytes + self.indices.nbytes + self.edge_eh.nbytes

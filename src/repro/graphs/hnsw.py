@@ -140,7 +140,7 @@ class HNSW(GraphIndex):
     def _shrink(self, v: int, level: int) -> None:
         """Re-prune node ``v``'s links on ``level`` back to the degree cap."""
         if level == 0:
-            neigh = self.adjacency.base_neighbors(v)
+            neigh = self.adjacency.base_neighbors_ro(v)
             cap = self.M0
             if len(neigh) <= cap:
                 return
@@ -193,7 +193,7 @@ class HNSW(GraphIndex):
                     # several reverse-edge additions instead of firing on
                     # every one (quality is unaffected: degree only ever
                     # overshoots the cap by the slack).
-                    if len(self.adjacency.base_neighbors(v)) > self.M0 + self._shrink_slack:
+                    if self.adjacency.base_degree(v) > self.M0 + self._shrink_slack:
                         self._shrink(v, 0)
                 else:
                     layer = self._upper[lv - 1]

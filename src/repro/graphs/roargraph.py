@@ -31,6 +31,7 @@ from repro.evalx.ground_truth import compute_ground_truth
 from repro.graphs.base import GraphIndex, medoid_id
 from repro.graphs.kgraph import brute_force_knn_graph
 from repro.graphs.pruning import rng_prune_backfill
+from repro.utils.parallel import chunk_bounds, effective_workers, parallel_map
 from repro.utils.validation import check_matrix, check_positive
 
 
@@ -46,6 +47,10 @@ class RoarGraph(GraphIndex):
     n_query_neighbors:
         Exact base neighbors computed per historical query (the paper's
         N_q; the bipartite fan-out).
+    n_workers:
+        Fork-pool width for the exact bipartite ground truth and the
+        per-node projection pruning; the built graph is identical for any
+        value.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class RoarGraph(GraphIndex):
         M: int = 32,
         n_query_neighbors: int = 32,
         knn_k: int = 16,
+        n_workers: int = 1,
     ):
         check_positive(M, "M")
         check_positive(n_query_neighbors, "n_query_neighbors")
@@ -63,6 +69,7 @@ class RoarGraph(GraphIndex):
         self.M = M
         self.n_query_neighbors = min(n_query_neighbors, self.size - 1)
         self.knn_k = min(knn_k, self.size - 1)
+        self.n_workers = n_workers
         self._medoid = medoid_id(self.dc)
         train_queries = check_matrix(train_queries, "train_queries")
         self._build(train_queries)
@@ -71,7 +78,8 @@ class RoarGraph(GraphIndex):
         # Step 1: exact bipartite neighbors (the expensive preprocessing the
         # paper contrasts NGFix's approximate mode against).
         gt = compute_ground_truth(
-            self.dc.data, train_queries, self.n_query_neighbors, self.metric)
+            self.dc.data, train_queries, self.n_query_neighbors, self.metric,
+            n_workers=self.n_workers)
 
         # Step 2: projection — pivot = query's 1-NN; candidates = the rest.
         candidates: dict[int, set[int]] = {}
@@ -81,27 +89,46 @@ class RoarGraph(GraphIndex):
 
         knn = brute_force_knn_graph(self.dc.data, self.knn_k, self.metric)
 
-        for u in range(self.size):
-            pool = candidates.get(u, set())
-            pool.update(int(v) for v in knn[u, : self.knn_k // 2])
-            pool.discard(u)
-            self.adjacency.set_base_neighbors(
-                u, rng_prune_backfill(self.dc, u, pool, self.M))
+        # Per-node occlusion pruning over static inputs (candidates + knn):
+        # embarrassingly parallel; workers return lists plus NDC deltas so
+        # serial and parallel builds account distances identically.
+        def chunk(bounds: tuple[int, int]):
+            start, stop = bounds
+            ndc0 = self.dc.ndc
+            lists = []
+            for u in range(start, stop):
+                pool = set(candidates.get(u, ()))
+                pool.update(int(v) for v in knn[u, : self.knn_k // 2])
+                pool.discard(u)
+                lists.append(rng_prune_backfill(self.dc, u, pool, self.M))
+            ndc_delta = self.dc.ndc - ndc0
+            self.dc.ndc = ndc0
+            return lists, ndc_delta
 
-        # Reverse bipartite edges while capacity allows.
+        workers = effective_workers(self.n_workers)
+        size = max(1, -(-self.size // (4 * workers))) if workers > 1 else self.size
+        bounds = chunk_bounds(self.size, size)
+        for (start, stop), (lists, ndc_delta) in zip(
+                bounds, parallel_map(chunk, bounds, n_workers=self.n_workers)):
+            self.dc.ndc += ndc_delta
+            for u, selected in zip(range(start, stop), lists):
+                self.adjacency.set_base_neighbors(u, selected)
+
+        # Reverse bipartite edges while capacity allows (mutates as it
+        # scans — serial; the body only touches v != u lists).
         for u in range(self.size):
-            for v in self.adjacency.base_neighbors(u):
-                if len(self.adjacency.base_neighbors(v)) < self.M:
+            for v in self.adjacency.base_neighbors_ro(u):
+                if self.adjacency.base_degree(v) < self.M:
                     self.adjacency.add_base_edge(v, u)
 
         # Step 3: connectivity enhancement via neighbors-of-neighbors top-up.
         for u in range(self.size):
-            neigh = self.adjacency.base_neighbors(u)
+            neigh = self.adjacency.base_neighbors_ro(u)
             if len(neigh) >= self.M // 2:
                 continue
             pool = set(neigh)
             for v in neigh:
-                pool.update(self.adjacency.base_neighbors(v))
+                pool.update(self.adjacency.base_neighbors_ro(v))
             pool.update(int(v) for v in knn[u])
             pool.discard(u)
             self.adjacency.set_base_neighbors(

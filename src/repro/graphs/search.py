@@ -63,6 +63,10 @@ class VisitedTable:
     def mark(self, i: int) -> None:
         self._stamps[i] = self._version
 
+    def mark_many(self, ids: np.ndarray) -> None:
+        """Mark all ``ids`` visited in one scatter (no per-id loop)."""
+        self._stamps[ids] = self._version
+
     def is_visited(self, i: int) -> bool:
         return self._stamps[i] == self._version
 
@@ -132,7 +136,7 @@ def greedy_search(
     entry_ids = np.unique(np.asarray(list(entry_points), dtype=np.int64))
     if entry_ids.size == 0:
         raise ValueError("at least one entry point is required")
-    visited._stamps[entry_ids] = visited._version
+    visited.mark_many(entry_ids)
     entry_d = dc.to_query(entry_ids, q)
 
     collect_i: list[np.ndarray] = [entry_ids] if collect_visited else []
@@ -220,18 +224,27 @@ class BatchSearchEngine:
     excluded_fn:
         Nullary callable returning the current excluded set (tombstones) or
         None; evaluated once per block so lazy deletions are honored.
+    graph_fn:
+        Nullary callable returning a frozen
+        :class:`~repro.graphs.csr.CSRGraphView` (anything with
+        ``neighbors_block``) or None; evaluated once per block.  When a view
+        is returned, the whole frontier is gathered with one bulk CSR call
+        instead of one ``neighbors_fn`` call per expanded node; when None
+        the engine walks ``neighbors_fn`` as before.  Neighbor order per
+        node is identical on either path, so results are unaffected.
     batch_size:
         Queries advanced together per block.
     """
 
     def __init__(self, dc, neighbors_fn, entry_points_fn, excluded_fn=None,
-                 batch_size: int = 32):
+                 batch_size: int = 32, graph_fn=None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.dc = dc
         self.neighbors_fn = neighbors_fn
         self.entry_points_fn = entry_points_fn
         self.excluded_fn = excluded_fn
+        self.graph_fn = graph_fn
         self.batch_size = batch_size
         self._visited = VisitedTable(1)
 
@@ -253,6 +266,8 @@ class BatchSearchEngine:
         excluded = self.excluded_fn() if self.excluded_fn is not None else None
         excl_arr = (np.fromiter(excluded, dtype=np.int64, count=len(excluded))
                     if excluded else None)
+        # Frozen CSR snapshot for this block, when the provider has one.
+        graph = self.graph_fn() if self.graph_fn is not None else None
 
         prepared = [dc.prepare_query(q) for q in block]
         qmat = np.array(prepared)
@@ -372,36 +387,52 @@ class BatchSearchEngine:
         e_counts = np.array([e.size for e in entry_lists], dtype=np.int64)
         e_rows = np.repeat(np.arange(n_queries, dtype=np.int64), e_counts)
         e_nodes = np.concatenate(entry_lists)
-        visited._stamps[e_rows * n + e_nodes] = visited._version
+        visited.mark_many(e_rows * n + e_nodes)
         e_dists = dc.block_to_queries(e_nodes, qmat, e_rows).astype(
             np.float64, copy=False)
         merge_and_admit(e_rows, e_nodes, e_dists)
 
         int64_max = np.iinfo(np.int64).max
         while alive.shape[0]:
-            best = pool_d.min(axis=1)
+            sel_cols = np.argmin(pool_d, axis=1)
+            row_range = np.arange(alive.shape[0])
+            best = pool_d[row_range, sel_cols]
             bound = res_d[:, ef - 1]
             done = np.isinf(best) | (best > bound)
             if done.any():
                 finish(np.flatnonzero(done))
                 if not alive.shape[0]:
                     break
-                best = best[~done]
+                keep = ~done
+                sel_cols, best = sel_cols[keep], best[keep]
+                row_range = np.arange(alive.shape[0])
             # Expand the (distance, id)-minimal unexpanded candidate per row.
-            masked_id = np.where(pool_d == best[:, None], pool_id, int64_max)
-            sel_nodes = masked_id.min(axis=1)
-            sel_cols = masked_id.argmin(axis=1)
-            row_range = np.arange(alive.shape[0])
+            # argmin picks the first minimal *column*; the sequential heap
+            # pops the smallest id among distance ties, so rows with more
+            # than one minimal entry are re-selected by id.
+            sel_nodes = pool_id[row_range, sel_cols]
+            ties = (pool_d == best[:, None]).sum(axis=1) > 1
+            if ties.any():
+                multi = np.flatnonzero(ties)
+                masked = np.where(pool_d[multi] == best[multi, None],
+                                  pool_id[multi], int64_max)
+                sel_nodes[multi] = masked.min(axis=1)
+                sel_cols[multi] = masked.argmin(axis=1)
             pool_d[row_range, sel_cols] = np.inf
             pool_id[row_range, sel_cols] = -1
             hops += 1
 
-            neigh = [self.neighbors_fn(int(u)) for u in sel_nodes]
-            counts = np.fromiter((a.size for a in neigh), dtype=np.int64,
-                                 count=len(neigh))
-            if not counts.sum():
-                continue
-            flat_nodes = np.concatenate(neigh)
+            if graph is not None:
+                flat_nodes, counts = graph.neighbors_block(sel_nodes)
+                if not flat_nodes.size:
+                    continue
+            else:
+                neigh = [self.neighbors_fn(int(u)) for u in sel_nodes]
+                counts = np.fromiter((a.size for a in neigh), dtype=np.int64,
+                                     count=len(neigh))
+                if not counts.sum():
+                    continue
+                flat_nodes = np.concatenate(neigh)
             flat_rows = np.repeat(row_range, counts)
             fresh = visited.filter_unvisited(alive[flat_rows] * n + flat_nodes)
             if not fresh.size:

@@ -14,10 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distances import Metric
-from repro.graphs.kgraph import brute_force_knn_graph
 from repro.graphs.nsg import NSG
 from repro.graphs.pruning import tau_prune
-from repro.graphs.search import greedy_search
 
 
 class TauMNG(NSG):
@@ -26,6 +24,9 @@ class TauMNG(NSG):
     ``tau`` is expressed in the library's comparison-distance units.  The
     paper recommends dataset-dependent τ around the typical query-to-base
     displacement; :meth:`suggest_tau` estimates that from a query sample.
+
+    Construction reuses NSG's pipeline wholesale (including its parallel
+    candidate-collection stage); only the occlusion rule differs.
     """
 
     def __init__(
@@ -36,31 +37,16 @@ class TauMNG(NSG):
         L: int = 64,
         knn_k: int = 32,
         tau: float = 0.01,
+        n_workers: int = 1,
     ):
         if tau < 0:
             raise ValueError(f"tau must be non-negative, got {tau}")
         self.tau = tau
-        super().__init__(data, metric, R=R, L=L, knn_k=knn_k)
+        super().__init__(data, metric, R=R, L=L, knn_k=knn_k,
+                         n_workers=n_workers)
 
-    def _build(self) -> None:
-        knn = brute_force_knn_graph(self.dc.data, self.knn_k, self.metric)
-
-        def knn_neighbors(u: int) -> np.ndarray:
-            return knn[u]
-
-        for u in range(self.size):
-            result = greedy_search(
-                self.dc, knn_neighbors, [self._medoid], self.dc.data[u],
-                k=self.L, ef=self.L, visited=self._visited,
-                collect_visited=True, prepared=True,
-            )
-            pool = np.unique(np.concatenate([result.visited_ids, knn[u]]))
-            pool = pool[pool != u]
-            self.adjacency.set_base_neighbors(
-                u, tau_prune(self.dc, u, pool, self.R, tau=self.tau))
-
-        self._inter_insert(tau_prune, tau=self.tau)
-        self._ensure_connected(knn)
+    def _prune_rule(self, u: int, pool) -> list[int]:
+        return tau_prune(self.dc, u, pool, self.R, tau=self.tau)
 
     @staticmethod
     def suggest_tau(gt_first_distances: np.ndarray) -> float:

@@ -68,10 +68,10 @@ def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
     indices = []
     extra_u, extra_v, extra_eh = [], [], []
     for u in range(adjacency.n_nodes):
-        base = adjacency.base_neighbors(u)
+        base = adjacency.base_neighbors_ro(u)
         indices.extend(base)
         indptr[u + 1] = indptr[u] + len(base)
-        for v, eh in adjacency.extra_neighbors(u).items():
+        for v, eh in adjacency.extra_neighbors_ro(u).items():
             extra_u.append(u)
             extra_v.append(v)
             extra_eh.append(eh)

@@ -1,7 +1,13 @@
-"""Shared low-level helpers: bitsets, seeded RNG, validation, index IO."""
+"""Shared low-level helpers: bitsets, seeded RNG, validation, parallel map."""
 
 from repro.utils.bitset import BitMatrix
 from repro.utils.rng_utils import ensure_rng
+from repro.utils.parallel import (
+    chunk_bounds,
+    effective_workers,
+    fork_available,
+    parallel_map,
+)
 from repro.utils.validation import (
     check_matrix,
     check_vector,
@@ -12,6 +18,10 @@ from repro.utils.validation import (
 __all__ = [
     "BitMatrix",
     "ensure_rng",
+    "chunk_bounds",
+    "effective_workers",
+    "fork_available",
+    "parallel_map",
     "check_matrix",
     "check_vector",
     "check_positive",

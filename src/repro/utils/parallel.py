@@ -1,0 +1,84 @@
+"""Fork-based worker pool for read-only data-parallel offline stages.
+
+The offline pipeline (ground truth, per-node pruning in graph construction,
+NGFix preprocessing/EH) is embarrassingly parallel over items that read large
+shared arrays (base vectors, a static adjacency snapshot) and return small
+results.  Worker processes are created with the ``fork`` start method, so all
+inputs are inherited copy-on-write — nothing is pickled *into* workers, and
+the mapped callable may be an arbitrary closure.  Only results travel back.
+
+Determinism contract: :func:`parallel_map` returns results in input order and
+every chunk is processed by a pure function of its item, so a parallel run is
+*bit-identical* to the serial fallback.  Callers that need aligned numerics
+(e.g. batched GEMM ground truth) must chunk on the same boundaries serially
+and in parallel — :func:`chunk_bounds` is the shared splitter.
+
+Workers never nest: a ``parallel_map`` issued from inside a worker silently
+degrades to serial, as does any call when ``fork`` is unavailable (non-POSIX)
+or ``n_workers <= 1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+# The callable being mapped, published for forked workers.  Module-global so
+# the fork snapshot carries it; doubles as the nesting/reentrancy guard.
+_WORK_FN = None
+
+
+def _invoke(item):
+    return _WORK_FN(item)
+
+
+def fork_available() -> bool:
+    """Whether fork-based pools can run on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def effective_workers(n_workers: int | None) -> int:
+    """The worker count a stage will actually use (1 = serial)."""
+    if n_workers is None or n_workers <= 1 or not fork_available():
+        return 1
+    if _WORK_FN is not None:  # already inside a worker
+        return 1
+    return int(n_workers)
+
+
+def chunk_bounds(n_items: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Deterministic ``[start, stop)`` chunk boundaries covering ``n_items``.
+
+    The same boundaries must be used by the serial and the parallel code
+    path of a stage so per-chunk numerics (batched GEMMs) agree bitwise.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [(start, min(start + chunk_size, n_items))
+            for start in range(0, n_items, chunk_size)]
+
+
+def parallel_map(fn, items, n_workers: int | None = 1) -> list:
+    """``[fn(x) for x in items]`` across ``n_workers`` forked processes.
+
+    Results come back in input order regardless of completion order.  With
+    ``n_workers <= 1``, a single item, fork unavailable, or when already
+    inside a worker, runs serially in-process (no pool, no overhead).
+
+    ``fn`` may close over arbitrarily large state (vectors, graphs): workers
+    inherit it via fork and never send it back.  ``fn`` must not *mutate*
+    shared state for the master's benefit — mutations stay in the worker.
+    Each item is dispatched individually (``chunksize=1``), so ``items``
+    should be coarse chunks, not single elements.
+    """
+    global _WORK_FN
+    items = list(items)
+    workers = min(effective_workers(n_workers), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    _WORK_FN = fn
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_invoke, items, chunksize=1)
+    finally:
+        _WORK_FN = None
