@@ -1,0 +1,179 @@
+"""Extension — epoch-based serving layer under a mutating workload.
+
+One scenario, three contracts:
+
+- **Throughput under churn**: a 90% search / 10% mutation interleave
+  (delete + re-insert churn that is recall-neutral by construction, see
+  :func:`repro.evalx.runner.interleaved_workload`) must sustain at least
+  ``TARGET_QPS_RATIO`` of the read-only batched QPS measured by the *same*
+  harness at ``mutation_fraction=0``, at equal recall.
+- **Zero O(E) refreezes on the query path**: every CSR rebuild during the
+  churn run must be attributable to a scheduler epoch cut; the report's
+  ``query_path_freezes`` is asserted to be exactly zero.
+- **Epoch consistency**: an epoch pinned before the churn run replays
+  bit-identical ids *and distances* for its queries after hundreds of
+  overlay writes and several merges.
+
+Results land in ``BENCH_serving.json`` at the repo root.  Running the file
+directly (``python benchmarks/bench_ext_serving_churn.py``) performs a fast
+smoke pass: consistency + zero-freeze + recall-neutrality assertions at
+whatever ``REPRO_BENCH_SCALE`` is set, no JSON, no QPS target — this is the
+CI serving-churn smoke job.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from workbench import K, get_dataset, get_gt, record
+from repro import VectorStore
+from repro.evalx import interleaved_workload
+from repro.graphs.search import greedy_search
+
+NAME = "laion-sim"
+EF = 45
+BATCH_SIZE = 64
+MUTATION_FRACTION = 0.1
+OBSERVE_EVERY = 2          # online NGFix/RFix repair every 2nd batch
+MERGE_EVERY = 150          # overlay ops per background epoch merge
+TARGET_QPS_RATIO = 0.8
+N_CONSISTENCY_QUERIES = 8
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def build_store():
+    ds = get_dataset(NAME)
+    store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
+                        M=12, ef_construction=60, seed=3,
+                        merge_every=MERGE_EVERY)
+    store.add(ds.base)
+    store.build()
+    store.fit_history(ds.train_queries)
+    return store
+
+
+def pinned_results(store, pin, queries):
+    view = pin.view
+    return [greedy_search(store.dc, view, [pin.epoch.entry], q, k=K, ef=EF,
+                          excluded=view.excluded())
+            for q in queries]
+
+
+def run_serving_churn(n_queries=None, repeats=1):
+    ds = get_dataset(NAME)
+    gt = get_gt(NAME, K)
+    queries = ds.test_queries
+    if n_queries is not None:
+        n_queries = min(n_queries, len(queries))
+        queries, gt = queries[:n_queries], gt.take(np.arange(n_queries))
+    if repeats > 1:
+        # Tile the query set so each arm runs enough batches for a stable
+        # QPS estimate (and enough mutations to trigger merges + observes).
+        tiled = np.tile(np.arange(len(queries)), repeats)
+        queries, gt = queries[tiled], gt.take(tiled)
+
+    store = build_store()
+    adjacency = store._fixer.adjacency
+
+    # Pin an epoch *before* any churn; it must replay these results
+    # bit-identically at the end, after hundreds of overlay writes.
+    pin = store.epochs.pin()
+    consistency_queries = queries[:N_CONSISTENCY_QUERIES]
+    reference = pinned_results(store, pin, consistency_queries)
+
+    store.search_batch(queries, K, EF, batch_size=BATCH_SIZE)  # warm
+    read_only = interleaved_workload(
+        store, queries, gt, K, EF, batch_size=BATCH_SIZE,
+        mutation_fraction=0.0, churn_ids=[0], seed=3)
+    assert read_only.n_inserts == read_only.n_deletes == 0
+
+    churn = interleaved_workload(
+        store, queries, gt, K, EF, batch_size=BATCH_SIZE,
+        mutation_fraction=MUTATION_FRACTION, observe_every=OBSERVE_EVERY,
+        seed=3)
+
+    # Contract 1: zero O(E) refreezes on the query path (both arms).
+    assert read_only.query_path_freezes == 0, (
+        f"{read_only.query_path_freezes} query-path freezes in read-only arm")
+    assert churn.query_path_freezes == 0, (
+        f"{churn.query_path_freezes} query-path freezes under churn")
+
+    # Contract 2: the pre-churn pin replays bit-identically.
+    replay = pinned_results(store, pin, consistency_queries)
+    for ref, now in zip(reference, replay):
+        np.testing.assert_array_equal(ref.ids, now.ids)
+        np.testing.assert_array_equal(ref.distances, now.distances)
+    pin.release()
+
+    # Contract 3: churn is recall-neutral (the mutations avoid gt ids and
+    # every delete is compensated, so any gap is uncontained graph damage).
+    assert churn.recall >= read_only.recall - 0.01, (
+        f"recall degraded under churn: {churn.recall:.4f} "
+        f"vs {read_only.recall:.4f}")
+
+    return {
+        "n_queries": int(read_only.n_queries),
+        "ef": EF, "batch_size": BATCH_SIZE,
+        "mutation_fraction": MUTATION_FRACTION,
+        "merge_every": MERGE_EVERY,
+        "read_only_qps": round(read_only.qps, 1),
+        "read_only_recall": round(read_only.recall, 4),
+        "churn_qps": round(churn.qps, 1),
+        "churn_recall": round(churn.recall, 4),
+        "qps_ratio": round(churn.qps / read_only.qps, 3),
+        "inserts": churn.n_inserts,
+        "deletes": churn.n_deletes,
+        "observed": churn.n_observed,
+        "online_repairs": churn.repairs,
+        "epoch_merges": churn.merges,
+        "query_path_freezes": churn.query_path_freezes,
+        "total_freezes": int(adjacency.n_freezes),
+        "epoch_consistency": "bit-identical over "
+                             f"{N_CONSISTENCY_QUERIES} pinned queries",
+    }
+
+
+def test_ext_serving_churn(benchmark):
+    results = run_serving_churn(repeats=5)
+    record(
+        "ext_serving_churn",
+        f"epoch serving under 90/10 search-mutation churn ({NAME}, ef={EF})",
+        ["arm", "qps", "recall", "mutations", "merges", "repairs",
+         "query-path freezes"],
+        [("read-only batched", results["read_only_qps"],
+          results["read_only_recall"], 0, "-", "-", 0),
+         ("90/10 churn", results["churn_qps"], results["churn_recall"],
+          results["inserts"] + results["deletes"], results["epoch_merges"],
+          results["online_repairs"], results["query_path_freezes"])],
+        notes=f"qps ratio {results['qps_ratio']} (target "
+              f">={TARGET_QPS_RATIO}); pinned-epoch results bit-identical; "
+              "JSON copy at BENCH_serving.json",
+    )
+    JSON_PATH.write_text(json.dumps(
+        {"dataset": NAME, "k": K, "serving_churn": results}, indent=2) + "\n")
+    assert results["qps_ratio"] >= TARGET_QPS_RATIO, (
+        f"churn QPS ratio {results['qps_ratio']} below {TARGET_QPS_RATIO}")
+
+    store = build_store()
+    queries = get_dataset(NAME).test_queries
+    benchmark(lambda: store.search_batch(queries[:BATCH_SIZE], K, EF,
+                                         batch_size=BATCH_SIZE))
+
+
+def main():
+    """CI smoke: consistency contracts only, no JSON, no QPS target."""
+    start = time.perf_counter()
+    results = run_serving_churn(n_queries=120)
+    print(f"serving churn: {results}")
+    print(f"smoke pass in {time.perf_counter() - start:.1f}s "
+          "(consistency + zero-freeze asserted; qps ratio informational)")
+
+
+if __name__ == "__main__":
+    main()

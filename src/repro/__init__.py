@@ -58,6 +58,15 @@ from repro.graphs import (
 from repro.graphs.entry import MultiEntryIndex, MedoidEntry, RandomEntry, CentroidsEntry
 from repro.io import save_index, load_index, FrozenIndex
 from repro.quantization import ProductQuantizer, PQRerankSearcher, IVFFlat
+from repro.serving import (
+    DeltaOverlay,
+    EpochManager,
+    EpochPin,
+    EpochView,
+    GraphEpoch,
+    MaintenanceScheduler,
+    ServingSearcher,
+)
 from repro.store import VectorStore
 from repro.core import (
     escape_hardness,
@@ -145,5 +154,12 @@ __all__ = [
     "make_drifting_workload",
     "DriftingWorkload",
     "VectorStore",
+    "GraphEpoch",
+    "DeltaOverlay",
+    "EpochView",
+    "EpochPin",
+    "EpochManager",
+    "ServingSearcher",
+    "MaintenanceScheduler",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli build --dataset laion-sim --index hnsw --out /tmp/g.npz
     python -m repro.cli fix --dataset laion-sim --out /tmp/fixed.npz
     python -m repro.cli evaluate --dataset laion-sim --index-file /tmp/fixed.npz
+    python -m repro.cli churn --dataset laion-sim --mutation-fraction 0.1
     python -m repro.cli analyze --dataset laion-sim
 
 Every command accepts ``--scale`` to shrink the synthetic corpora and
@@ -66,6 +67,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="queries advanced together through the batch "
                              "engine; 1 = sequential per-query loop "
                              "(identical results either way)")
+
+    p_churn = sub.add_parser(
+        "churn", help="serve queries while mutating (epoch serving layer)")
+    _add_common(p_churn)
+    p_churn.add_argument("--ef", type=int, default=40)
+    p_churn.add_argument("--batch-size", type=int, default=32)
+    p_churn.add_argument("--mutation-fraction", type=float, default=0.1,
+                         help="share of operations that are mutations "
+                              "(0.1 = 90%% search / 10%% mutation)")
+    p_churn.add_argument("--observe-every", type=int, default=0,
+                         help="feed every Nth batch's first query to online "
+                              "NGFix/RFix repair (0 = off)")
+    p_churn.add_argument("--merge-every", type=int, default=256,
+                         help="overlay ops per background epoch merge")
 
     p_an = sub.add_parser("analyze", help="hardness diagnostics for a dataset")
     _add_common(p_an)
@@ -178,6 +193,40 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_churn(args) -> int:
+    from repro import VectorStore, compute_ground_truth
+    from repro.evalx import evaluate_index, interleaved_workload
+    ds = _load_dataset(args)
+    store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
+                        M=12, ef_construction=60, seed=args.seed,
+                        merge_every=args.merge_every)
+    store.add(ds.base)
+    store.build()
+    store.fit_history(ds.train_queries)
+    gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric,
+                              n_workers=args.n_workers)
+    # The store's index protocol is batched (search() returns payload
+    # triples, not SearchResults), so the evaluation runs batch-only.
+    batch_size = max(2, args.batch_size)
+    baseline = evaluate_index(store, ds.test_queries, gt, args.k,
+                              max(args.ef, args.k), batch_size=batch_size)
+    report = interleaved_workload(
+        store, ds.test_queries, gt, args.k, max(args.ef, args.k),
+        batch_size=batch_size,
+        mutation_fraction=args.mutation_fraction,
+        observe_every=args.observe_every, seed=args.seed)
+    print(f"{ds.name}: read-only {baseline.qps:.1f} QPS "
+          f"@ recall {baseline.recall:.4f}")
+    print(f"churn ({args.mutation_fraction:.0%} mutations): "
+          f"{report.qps:.1f} QPS @ recall {report.recall:.4f} "
+          f"({report.qps / baseline.qps:.0%} of read-only)")
+    print(f"  {report.n_inserts} inserts, {report.n_deletes} deletes, "
+          f"{report.n_observed} observed, {report.merges} epoch merges, "
+          f"{report.repairs} online repairs")
+    print(f"  query-path O(E) refreezes: {report.query_path_freezes}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro import HNSW, compute_ground_truth
     from repro.core.analysis import phase_reach_stats
@@ -236,6 +285,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "fix": _cmd_fix,
     "evaluate": _cmd_evaluate,
+    "churn": _cmd_churn,
     "analyze": _cmd_analyze,
     "explain": _cmd_explain,
 }

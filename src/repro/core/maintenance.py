@@ -49,15 +49,22 @@ class IndexMaintainer:
         bare :class:`~repro.core.hash_cache.HashTableCache`
         (``drop_if_contains``); cached answers referencing deleted points
         are evicted the moment the points are tombstoned.
+    on_change:
+        Optional nullary callback fired after every mutating operation
+        (insert, delete, compaction, partial rebuild).  The serving layer's
+        :class:`~repro.serving.MaintenanceScheduler` hooks this to decide
+        when the accumulated delta overlay is worth merging into a fresh
+        epoch.
     """
 
     def __init__(self, fixer: NGFixer, history: np.ndarray,
                  compact_threshold: float = 0.05,
                  seed: int | np.random.Generator | None = 0,
-                 cache=None):
+                 cache=None, on_change=None):
         check_fraction(compact_threshold, "compact_threshold")
         self.fixer = fixer
         self.cache = cache
+        self.on_change = on_change
         history = np.asarray(history, dtype=np.float32)
         # An empty history is legal (no partial rebuilds possible, insert/
         # delete maintenance still works).
@@ -80,7 +87,12 @@ class IndexMaintainer:
         ids = [self.fixer.index.insert(v) for v in vectors]
         # The medoid drifts as data grows; recompute the fixed entry.
         self.fixer.entry = self.fixer.index.medoid()
+        self._notify()
         return ids
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def partial_rebuild(self, proportion: float, drop_fraction: float = 0.2) -> dict:
         """Partial rebuild with history sample ``proportion`` (Sec. 5.5.1).
@@ -99,6 +111,7 @@ class IndexMaintainer:
             picks = self._rng.choice(len(self.history), size=n_sample, replace=False)
             self.fixer.fit(self.history[picks])
         self.last_rebuild_seconds = time.perf_counter() - start
+        self._notify()
         return {
             "dropped_extra_edges": dropped,
             "history_used": n_sample,
@@ -127,6 +140,7 @@ class IndexMaintainer:
         if len(tombstones) > self.compact_threshold * self.fixer.dc.size:
             self.compact()
             return True
+        self._notify()
         return False
 
     def compact(self, repair: bool = True, repair_k: int | None = None) -> dict:
@@ -178,6 +192,7 @@ class IndexMaintainer:
             alive = [i for i in range(self.fixer.dc.size) if i not in deleted]
             self.fixer.entry = alive[0]
         self.last_compaction_seconds = time.perf_counter() - start
+        self._notify()
         return {
             "deleted": len(deleted),
             "repaired_regions": repaired,

@@ -11,8 +11,10 @@ every figure of Section 6.
 from repro.evalx.ground_truth import GroundTruth, compute_ground_truth
 from repro.evalx.metrics import recall_at_k, rderr_at_k, recall_per_query
 from repro.evalx.runner import (
+    ChurnReport,
     OperatingPoint,
     evaluate_index,
+    interleaved_workload,
     sweep,
     qps_at_recall,
     ndc_at_rderr,
@@ -30,7 +32,9 @@ __all__ = [
     "rderr_at_k",
     "recall_per_query",
     "OperatingPoint",
+    "ChurnReport",
     "evaluate_index",
+    "interleaved_workload",
     "sweep",
     "qps_at_recall",
     "ndc_at_rderr",

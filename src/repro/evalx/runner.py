@@ -195,3 +195,144 @@ def ef_for_recall(points: list[OperatingPoint], target_recall: float) -> int | N
         if point.recall >= target_recall:
             return point.ef
     return None
+
+
+@dataclasses.dataclass
+class ChurnReport:
+    """Outcome of one interleaved search/mutation (churn) run.
+
+    ``qps`` counts *search time only* (the sum of per-batch search
+    wall-clock), so it isolates the serving path's cost under churn from the
+    unrelated cost of the mutations themselves; ``mutation_seconds`` records
+    the latter.  ``query_path_freezes`` is the number of O(E) CSR rebuilds
+    that ran on the query path: total freezes minus those attributable to
+    epoch cuts — the serving layer's contract is that this is zero.
+    """
+
+    n_queries: int
+    n_inserts: int
+    n_deletes: int
+    n_observed: int
+    recall: float
+    qps: float
+    search_seconds: float
+    mutation_seconds: float
+    merges: int
+    repairs: int
+    query_path_freezes: int
+
+
+def interleaved_workload(
+    store,
+    queries: np.ndarray,
+    gt: GroundTruth,
+    k: int,
+    ef: int,
+    batch_size: int = 32,
+    mutation_fraction: float = 0.1,
+    churn_ids: list[int] | None = None,
+    observe_every: int = 0,
+    seed: int = 0,
+) -> ChurnReport:
+    """Serve queries while continuously mutating the index (churn protocol).
+
+    ``store`` is a :class:`~repro.store.VectorStore`-like object
+    (``search_batch``/``add``/``delete``/``observe``/``dc``, plus
+    ``scheduler``/``epochs`` when serving is enabled).  Queries run in
+    batches; between batches, delete/re-insert pairs are applied so that
+    mutations make up ``mutation_fraction`` of all operations (the paper-era
+    serving mix — 0.1 reproduces a 90% search / 10% mutation workload).
+
+    Churn is *recall-neutral by construction*: only ids outside every
+    query's ground-truth top-k (``churn_ids``; derived automatically when
+    omitted) are deleted, and each deletion is later compensated by
+    re-inserting the same vector under a fresh id — so measured recall under
+    churn is directly comparable to the read-only recall at the same ``ef``,
+    and any gap is graph damage the serving/repair layers failed to contain.
+
+    ``observe_every > 0`` additionally feeds every Nth query batch's first
+    query to ``store.observe`` (online NGFix/RFix repair).
+    """
+    check_positive(k, "k")
+    check_positive(batch_size, "batch_size")
+    queries = np.asarray(queries, dtype=np.float32)
+    gt_k = gt.top(k)
+    rng = np.random.default_rng(seed)
+
+    if churn_ids is None:
+        protected = set(np.unique(gt_k.ids).tolist())
+        churn_ids = [i for i in range(store.dc.size) if i not in protected]
+    churn_ids = list(churn_ids)
+    rng.shuffle(churn_ids)
+    if not churn_ids:
+        raise ValueError("no churn-eligible ids (every id is in the gt top-k)")
+
+    # Each batch of B searches owes B * f / (1 - f) mutation ops; the
+    # fractional remainder carries over so the long-run ratio is exact.
+    ops_per_batch = batch_size * mutation_fraction / (1.0 - mutation_fraction)
+
+    found_ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+    pending_reinserts: list[tuple[int, np.ndarray]] = []
+    churn_cursor = 0
+    owed = 0.0
+    search_s = 0.0
+    mutation_s = 0.0
+    n_inserts = n_deletes = n_observed = 0
+
+    fixer = getattr(store, "_fixer", None)
+    adjacency = fixer.adjacency if fixer is not None else None
+    freezes0 = getattr(adjacency, "n_freezes", 0)
+    manager = getattr(store, "epochs", None)
+    cuts0 = manager.n_cuts if manager is not None else 0
+    scheduler = getattr(store, "scheduler", None)
+    merges0 = scheduler.n_merges if scheduler is not None else 0
+    repairs0 = scheduler.n_repairs if scheduler is not None else 0
+
+    n_batches = 0
+    for start in range(0, queries.shape[0], batch_size):
+        block = queries[start:start + batch_size]
+        t0 = time.perf_counter()
+        results = store.search_batch(block, k, ef, batch_size=batch_size)
+        search_s += time.perf_counter() - t0
+        for i, result in enumerate(results):
+            m = min(k, len(result.ids))
+            found_ids[start + i, :m] = result.ids[:m]
+
+        t0 = time.perf_counter()
+        owed += ops_per_batch
+        while owed >= 1.0:
+            owed -= 1.0
+            if pending_reinserts and (churn_cursor >= len(churn_ids)
+                                      or rng.random() < 0.5):
+                _, vector = pending_reinserts.pop(0)
+                store.add(vector[None, :])
+                n_inserts += 1
+            elif churn_cursor < len(churn_ids):
+                victim = churn_ids[churn_cursor]
+                churn_cursor += 1
+                pending_reinserts.append(
+                    (victim, np.array(store.dc.data[victim], copy=True)))
+                store.delete([victim])
+                n_deletes += 1
+        n_batches += 1
+        if observe_every and n_batches % observe_every == 0:
+            store.observe(block[0])
+            n_observed += 1
+        mutation_s += time.perf_counter() - t0
+
+    recall = float(recall_per_query(found_ids, gt_k.ids).mean())
+    freezes = getattr(adjacency, "n_freezes", 0) - freezes0
+    cuts = (manager.n_cuts - cuts0) if manager is not None else 0
+    return ChurnReport(
+        n_queries=queries.shape[0],
+        n_inserts=n_inserts,
+        n_deletes=n_deletes,
+        n_observed=n_observed,
+        recall=recall,
+        qps=queries.shape[0] / max(search_s, 1e-9),
+        search_seconds=search_s,
+        mutation_seconds=mutation_s,
+        merges=(scheduler.n_merges - merges0) if scheduler is not None else 0,
+        repairs=(scheduler.n_repairs - repairs0) if scheduler is not None else 0,
+        query_path_freezes=freezes - cuts,
+    )

@@ -30,6 +30,35 @@ _EMPTY = np.empty(0, dtype=np.int64)
 # Sentinel EH for edges that must never be evicted (RFix navigation edges).
 EH_INFINITE = float("inf")
 
+
+class ObservedTombstones(set):
+    """Tombstone set that mirrors additions into the store's delta overlay.
+
+    Installed by :meth:`AdjacencyStore.attach_overlay` so the serving layer
+    sees lazy deletions with the same sequence-number ordering as edge
+    mutations.  Removal (``clear`` during compaction) is intentionally not
+    logged: the overlay is append-only, and an epoch view excluding an id
+    that compaction already unlinked is harmless.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, iterable=(), store: "AdjacencyStore | None" = None):
+        super().__init__(iterable)
+        self._store = store
+
+    def add(self, node: int) -> None:
+        if node not in self:
+            super().add(node)
+            store = self._store
+            if store is not None and store._overlay is not None:
+                store._overlay.record_tombstone(node)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for node in other:
+                self.add(node)
+
 # Consecutive clean reads after which a dirty store refreezes its CSR view.
 # A fixing loop that alternates search and edge mutation never reaches the
 # threshold (refreezing per mutation would cost O(E) each time), while a
@@ -60,14 +89,48 @@ class AdjacencyStore:
         self._node_stamp = np.zeros(n_nodes, dtype=np.int64)
         self._frozen: CSRGraphView | None = None
         self._reads_since_mutation = 0
+        # Serving-layer hook: while an overlay is attached, every out-edge
+        # mutation and tombstone addition is also logged there so pinned
+        # epoch views stay consistent without refreezing.
+        self._overlay = None
+        # Count of actual O(E) CSR builds — lets benchmarks prove the query
+        # path never pays for a refreeze.
+        self.n_freezes = 0
 
     def _touch(self, u: int) -> None:
         """Record a mutation of node ``u``'s out-edges."""
-        self._cache[u] = None
         self._mutation_version += 1
         self._node_stamp[u] = self._mutation_version
         self._frozen = None
         self._reads_since_mutation = 0
+        overlay = self._overlay
+        if overlay is None:
+            self._cache[u] = None
+        else:
+            # Snapshot the post-mutation combined array: it doubles as the
+            # dynamic-path cache and the overlay's frozen per-node record
+            # (bit-identical to ``neighbors(u)`` by construction).
+            combined = self._base[u] + list(self._extra[u])
+            arr = np.array(combined, dtype=np.int64) if combined else _EMPTY
+            self._cache[u] = arr
+            overlay.record_node(u, arr)
+
+    # -- serving overlay ----------------------------------------------------
+
+    def attach_overlay(self, overlay) -> None:
+        """Mirror subsequent mutations into ``overlay`` (serving layer).
+
+        The overlay only sees mutations made *after* attachment; the caller
+        (:class:`~repro.serving.EpochManager`) freezes the store first so the
+        epoch CSR plus the overlay log always reconstruct the live graph.
+        """
+        self._overlay = overlay
+        if not isinstance(self.tombstones, ObservedTombstones):
+            self.tombstones = ObservedTombstones(self.tombstones, self)
+
+    def detach_overlay(self) -> None:
+        """Stop mirroring mutations (bulk rebuild ahead)."""
+        self._overlay = None
 
     # -- size bookkeeping ---------------------------------------------------
 
@@ -140,17 +203,21 @@ class AdjacencyStore:
         Paper Algorithm 3 lines 13-16: when the extra-degree budget is
         exceeded, edges whose EH is low (i.e. edges that were easy to do
         without) are pruned first.  Infinite-EH edges (RFix) are never
-        evicted.  Ties break toward the smaller target id.  Returns the
-        evicted (target, eh) or None.
+        evicted.  The choice is the lexicographic minimum over ``(eh, v)``,
+        so ties on EH deterministically evict the smallest target id — the
+        outcome depends only on the edge *set*, never on dict insertion
+        order, keeping repair runs reproducible across worker counts.
+        Returns the evicted (target, eh) or None.
         """
-        best_v = -1
-        best_eh = EH_INFINITE
+        best: tuple[float, int] | None = None
         for v, eh in self._extra[u].items():
-            if eh < best_eh or (eh == best_eh and eh != EH_INFINITE
-                                and (best_v < 0 or v < best_v)):
-                best_v, best_eh = v, eh
-        if best_v < 0 or best_eh == EH_INFINITE:
+            if eh == EH_INFINITE:
+                continue
+            if best is None or (eh, v) < best:
+                best = (eh, v)
+        if best is None:
             return None
+        best_eh, best_v = best
         del self._extra[u][best_v]
         self._touch(u)
         return best_v, best_eh
@@ -226,8 +293,9 @@ class AdjacencyStore:
         edges in list order, then extra edges in insertion order), so any
         search over the view is bit-identical to the dynamic path.
         """
-        if self._frozen is not None:
-            return self._frozen
+        frozen = self.csr_view()
+        if frozen is not None:
+            return frozen
         n = self.n_nodes
         indptr = np.zeros(n + 1, dtype=np.int32)
         counts = np.fromiter(
@@ -248,12 +316,27 @@ class AdjacencyStore:
                 indices[pos:pos + ne] = list(extra.keys())
                 edge_eh[pos:pos + ne] = list(extra.values())
                 pos += ne
-        self._frozen = CSRGraphView(indptr, indices, edge_eh)
+        self._frozen = CSRGraphView(indptr, indices, edge_eh,
+                                    store_version=self._mutation_version)
+        self.n_freezes += 1
         return self._frozen
 
     def csr_view(self) -> CSRGraphView | None:
-        """The cached frozen view if it is current, else None (no refreeze)."""
-        return self._frozen
+        """The cached frozen view if it is current, else None (no refreeze).
+
+        Guards against ever serving a snapshot whose shape lags the store:
+        if the cached view predates a :meth:`grow` (``n_nodes`` mismatch) or
+        any edge mutation (``store_version`` mismatch), it is dropped here
+        rather than returned — no caller can traverse a stale view even if a
+        future code path forgets to invalidate on growth.
+        """
+        frozen = self._frozen
+        if frozen is not None and (frozen.n_nodes != self.n_nodes
+                                   or frozen.store_version
+                                   != self._mutation_version):
+            self._frozen = None
+            return None
+        return frozen
 
     def traversal(self) -> CSRGraphView | None:
         """The traversal source the read path should use *right now*.
@@ -266,8 +349,9 @@ class AdjacencyStore:
         to the dynamic :meth:`neighbors` path — which keeps fixing loops
         (mutate, search, mutate, …) from thrashing O(E) refreezes.
         """
-        if self._frozen is not None:
-            return self._frozen
+        frozen = self.csr_view()
+        if frozen is not None:
+            return frozen
         self._reads_since_mutation += 1
         if self._reads_since_mutation >= FREEZE_AFTER_READS:
             return self.freeze()

@@ -31,12 +31,17 @@ class CSRGraphView:
     ``edge_eh[e]`` carries the Escape Hardness tag of the extra edge stored
     at ``indices[e]`` (NaN for base edges, which carry no tag).  The view is
     callable with a node id so it can stand in for any ``neighbors_fn``.
+
+    ``store_version`` records the originating store's mutation counter at
+    freeze time; the store compares it on every ``csr_view()`` so a snapshot
+    that lags the live graph (e.g. across a ``grow``) can never be served.
     """
 
-    __slots__ = ("indptr", "indices", "edge_eh", "n_nodes", "n_edges")
+    __slots__ = ("indptr", "indices", "edge_eh", "n_nodes", "n_edges",
+                 "store_version")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
-                 edge_eh: np.ndarray):
+                 edge_eh: np.ndarray, store_version: int = -1):
         if indptr.ndim != 1 or indptr.shape[0] == 0:
             raise ValueError("indptr must be a non-empty 1-d array")
         if indices.shape[0] != edge_eh.shape[0]:
@@ -46,6 +51,7 @@ class CSRGraphView:
         self.edge_eh = edge_eh
         self.n_nodes = indptr.shape[0] - 1
         self.n_edges = indices.shape[0]
+        self.store_version = store_version
 
     def neighbors(self, u: int) -> np.ndarray:
         """Out-neighbors of ``u`` as a zero-copy slice of ``indices``."""

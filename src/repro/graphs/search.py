@@ -263,11 +263,29 @@ class BatchSearchEngine:
         dc = self.dc
         n = dc.size
         n_queries = block.shape[0]
-        excluded = self.excluded_fn() if self.excluded_fn is not None else None
-        excl_arr = (np.fromiter(excluded, dtype=np.int64, count=len(excluded))
-                    if excluded else None)
-        # Frozen CSR snapshot for this block, when the provider has one.
+        # Graph snapshot for this block, when the provider has one.  Must be
+        # resolved *before* the excluded set: an epoch-pinning graph_fn (see
+        # repro.serving.ServingSearcher) establishes the block's pinned view
+        # here, and its excluded_fn reads tombstones from that same pin — the
+        # other order could pair an old exclusion set with a newer graph.
         graph = self.graph_fn() if self.graph_fn is not None else None
+        if self.excluded_fn is not None:
+            excluded = self.excluded_fn()
+        elif graph is not None and hasattr(graph, "excluded"):
+            excluded = graph.excluded()
+        else:
+            excluded = None
+        # Exclusion test is on the per-hop hot path: an O(1) mask lookup
+        # beats np.isin's sort+searchsorted by an order of magnitude.  The
+        # trailing always-False sentinel absorbs (via clip) any node id
+        # beyond the mask, e.g. one inserted after the mask was built.
+        if excluded:
+            excl_arr = np.fromiter(excluded, dtype=np.int64,
+                                   count=len(excluded))
+            excl_mask = np.zeros(int(excl_arr.max()) + 2, dtype=bool)
+            excl_mask[excl_arr] = True
+        else:
+            excl_mask = None
 
         prepared = [dc.prepare_query(q) for q in block]
         qmat = np.array(prepared)
@@ -316,8 +334,9 @@ class BatchSearchEngine:
             admit = dists < pre_bound
 
             # Result pools: top-ef of old ∪ new non-excluded.
-            if excl_arr is not None:
-                relevant = admit & ~np.isin(nodes, excl_arr)
+            if excl_mask is not None:
+                relevant = admit & ~excl_mask[
+                    np.minimum(nodes, excl_mask.size - 1)]
             else:
                 relevant = admit
             if relevant.any():

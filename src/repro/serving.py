@@ -1,0 +1,641 @@
+"""Epoch-based serving layer: immutable graph epochs + delta overlay +
+background maintenance.
+
+The mutation/serving stack is split into three explicit layers so that the
+query hot path never pays for — or races with — index repair:
+
+- :class:`GraphEpoch` — an immutable snapshot of the graph: a frozen
+  :class:`~repro.graphs.csr.CSRGraphView`, the entry point, and the tombstone
+  set, all captured at one instant.  Epochs are never mutated; a search that
+  pinned an epoch completes against exactly that state.
+- :class:`DeltaOverlay` — an append-only log of every mutation made to the
+  live :class:`~repro.graphs.adjacency.AdjacencyStore` since the epoch was
+  cut.  The store feeds it from ``_touch`` (a full post-mutation snapshot of
+  the touched node's combined neighbor array) and from tombstone additions.
+  Each record carries a monotone sequence number that is *published only
+  after* the record is in place, so a reader holding a sequence number sees a
+  complete, frozen prefix of the log.
+- :class:`EpochView` — the read view the search paths traverse: the epoch's
+  CSR plus the overlay prefix at a pinned sequence number.  It is callable
+  (drop-in ``neighbors_fn`` for :func:`~repro.graphs.search.greedy_search`)
+  and implements ``neighbors_block`` for the
+  :class:`~repro.graphs.search.BatchSearchEngine`, overlaying per-node deltas
+  after the bulk CSR gather.
+
+:class:`EpochManager` owns the current (epoch, overlay) pair and hands out
+:class:`EpochPin` handles; :class:`ServingSearcher` is the index-protocol
+facade that serves pinned searches; :class:`MaintenanceScheduler` serializes
+all writes behind one lock, merges the overlay into a fresh epoch in the
+background (the only O(E) operation, and it never runs on the query path),
+and repairs queries flagged hard while serving via NGFix/RFix.
+
+Concurrency model: one writer at a time (everything mutating the graph holds
+``MaintenanceScheduler.write_lock``), any number of readers, no reader locks.
+Reader safety rests on three invariants: epoch arrays are immutable, overlay
+logs are append-only with publish-after-write sequence numbers, and CPython
+list appends are atomic under the GIL.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraphView
+from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable, greedy_search
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class DeltaOverlay:
+    """Append-only mutation log since an epoch cut.
+
+    For every node whose out-edges changed, the overlay stores the full
+    post-mutation combined neighbor array (base edges first, extra edges in
+    insertion order — exactly ``AdjacencyStore.neighbors``), stamped with a
+    sequence number.  Resolving a node at a pinned sequence number is a
+    binary search over that node's (short) log.  Tombstone additions are
+    logged the same way.
+
+    Writers must be serialized externally (the scheduler's write lock); the
+    published ``seq`` is advanced only after the record is appended, so a
+    reader that captured ``seq`` observes a complete prefix even while later
+    writes land.
+    """
+
+    __slots__ = ("base_n_nodes", "seq", "_node_log", "_tomb_log")
+
+    def __init__(self, base_n_nodes: int):
+        self.base_n_nodes = base_n_nodes
+        self.seq = 0  # last *published* sequence number
+        self._node_log: dict[int, list[tuple[int, np.ndarray]]] = {}
+        self._tomb_log: list[tuple[int, int]] = []
+
+    @property
+    def n_ops(self) -> int:
+        """Published mutation count (monotone)."""
+        return self.seq
+
+    def record_node(self, u: int, combined: np.ndarray) -> None:
+        """Log node ``u``'s post-mutation combined neighbor array."""
+        stamp = self.seq + 1
+        self._node_log.setdefault(u, []).append((stamp, combined))
+        self.seq = stamp  # publish last: pinned readers never see a torn log
+
+    def record_tombstone(self, node: int) -> None:
+        """Log a lazy deletion."""
+        stamp = self.seq + 1
+        self._tomb_log.append((stamp, int(node)))
+        self.seq = stamp
+
+    def resolve(self, u: int, seq: int) -> np.ndarray | None:
+        """Node ``u``'s neighbor array at sequence ``seq`` (None = unchanged)."""
+        log = self._node_log.get(u)
+        if not log:
+            return None
+        i = bisect.bisect_right(log, seq, key=lambda entry: entry[0])
+        return log[i - 1][1] if i else None
+
+    def tombstones_at(self, seq: int) -> set[int]:
+        """Tombstones added up to (and including) sequence ``seq``."""
+        out: set[int] = set()
+        for stamp, node in self._tomb_log:
+            if stamp > seq:
+                break
+            out.add(node)
+        return out
+
+    def touched_count(self) -> int:
+        return len(self._node_log)
+
+
+class GraphEpoch:
+    """One immutable serving snapshot of the graph.
+
+    ``graph`` is a frozen CSR view, ``entry`` the search entry point, and
+    ``tombstones`` the lazily deleted ids — all captured at the cut instant.
+    Nothing here is ever mutated; searches pinned to an epoch are therefore
+    reproducible bit-for-bit for as long as they hold the pin.
+    """
+
+    __slots__ = ("epoch_id", "graph", "entry", "tombstones", "n_nodes")
+
+    def __init__(self, epoch_id: int, graph: CSRGraphView, entry: int,
+                 tombstones: frozenset[int]):
+        self.epoch_id = epoch_id
+        self.graph = graph
+        self.entry = int(entry)
+        self.tombstones = tombstones
+        self.n_nodes = graph.n_nodes
+
+
+class EpochView:
+    """Consistent read view: epoch CSR + overlay prefix at a fixed ``seq``.
+
+    Callable with a node id (drop-in ``neighbors_fn``), and provides
+    ``neighbors_block`` so the batch engine can keep its one-gather-per-hop
+    shape: the bulk CSR gather is used verbatim whenever no node in the
+    frontier has an overlay delta, and only deltaed frontiers fall back to
+    per-node assembly.
+    """
+
+    __slots__ = ("epoch", "overlay", "seq", "_excluded")
+
+    def __init__(self, epoch: GraphEpoch, overlay: DeltaOverlay, seq: int):
+        self.epoch = epoch
+        self.overlay = overlay
+        self.seq = seq
+        self._excluded: set[int] | None = None
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Out-neighbors of ``u`` under this view."""
+        delta = self.overlay.resolve(u, self.seq)
+        if delta is not None:
+            return delta
+        if u < self.epoch.n_nodes:
+            return self.epoch.graph.neighbors(u)
+        return _EMPTY  # node inserted after this view's horizon
+
+    __call__ = neighbors
+
+    def neighbors_block(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk frontier gather with overlay patch-up after the CSR gather."""
+        log = self.overlay._node_log
+        n0 = self.epoch.n_nodes
+        in_horizon = not nodes.size or int(nodes.max()) < n0
+        if not log and in_horizon:
+            return self.epoch.graph.neighbors_block(nodes)
+        # Only deltaed or post-horizon nodes need individual assembly; the
+        # clean majority keeps the one vectorized CSR gather per hop.
+        patches: dict[int, np.ndarray] = {}
+        for i, u in enumerate(nodes.tolist()):
+            if u >= n0:
+                patches[i] = self.neighbors(u)
+            elif u in log:
+                delta = self.overlay.resolve(u, self.seq)
+                if delta is not None:
+                    patches[i] = delta
+        if in_horizon:
+            flat, counts = self.epoch.graph.neighbors_block(nodes)
+        else:
+            # Post-horizon ids are all patched; gather placeholder rows.
+            flat, counts = self.epoch.graph.neighbors_block(
+                np.where(nodes < n0, nodes, 0))
+        if not patches:
+            return flat, counts
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        parts = [patches.get(i, flat[offsets[i]:offsets[i + 1]])
+                 for i in range(len(nodes))]
+        new_counts = counts.copy()
+        for i, arr in patches.items():
+            new_counts[i] = arr.size
+        if not int(new_counts.sum()):
+            return _EMPTY, new_counts
+        return np.concatenate(parts), new_counts
+
+    def excluded(self) -> set[int] | None:
+        """Ids barred from results: epoch tombstones + overlay prefix."""
+        if self._excluded is None:
+            combined = set(self.epoch.tombstones)
+            combined |= self.overlay.tombstones_at(self.seq)
+            self._excluded = combined
+        return self._excluded or None
+
+
+class EpochPin:
+    """A cheap handle keeping one (epoch, overlay-seq) pair live for a search.
+
+    Usable as a context manager; :meth:`release` is idempotent and also runs
+    from ``__del__`` so a dropped pin never leaks the epoch's pin count.
+    """
+
+    __slots__ = ("epoch", "view", "_manager", "_released")
+
+    def __init__(self, manager: "EpochManager", epoch: GraphEpoch,
+                 view: EpochView):
+        self.epoch = epoch
+        self.view = view
+        self._manager = manager
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._manager._unpin(self.epoch.epoch_id)
+
+    def __enter__(self) -> "EpochPin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class EpochManager:
+    """Owns the current epoch + overlay of one live adjacency store.
+
+    ``cut()`` freezes the live store into a fresh immutable epoch and swaps
+    in an empty overlay — the only O(E) operation in the serving stack, and
+    it is called off the query path (by the maintenance scheduler or at
+    bulk-operation boundaries).  ``pin()`` is what the query path calls: it
+    captures the current (epoch, overlay, seq) triple under a short lock.
+
+    The caller must guarantee no concurrent mutations during ``cut()``
+    (the scheduler holds its write lock); pins require no such guarantee.
+    """
+
+    def __init__(self, adjacency, entry: int):
+        self.adjacency = adjacency
+        self._lock = threading.Lock()
+        self._epoch_counter = 0
+        self._pin_counts: dict[int, int] = {}
+        self.n_cuts = 0
+        self.current: GraphEpoch | None = None
+        self.overlay: DeltaOverlay | None = None
+        self._suspended = False
+        self.cut(entry)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def cut(self, entry: int | None = None) -> GraphEpoch:
+        """Freeze the live store into a new epoch; start a fresh overlay.
+
+        Callers must hold the write lock (no concurrent mutations).  Old
+        epochs/overlays stay alive for as long as pins reference them.
+        """
+        graph = self.adjacency.freeze()
+        tombstones = frozenset(self.adjacency.tombstones)
+        overlay = DeltaOverlay(graph.n_nodes)
+        with self._lock:
+            self._epoch_counter += 1
+            self.n_cuts += 1
+            if entry is None:
+                entry = self.current.entry
+            epoch = GraphEpoch(self._epoch_counter, graph, entry, tombstones)
+            self.current, self.overlay = epoch, overlay
+            self._suspended = False
+        self.adjacency.attach_overlay(overlay)
+        return epoch
+
+    def suspend_overlay(self) -> None:
+        """Stop logging mutations (bulk rebuild ahead; serve the old epoch).
+
+        While suspended, pins keep returning the pre-suspension epoch plus
+        the (now frozen) overlay — a consistent, slightly stale view.  Call
+        :meth:`cut` to resume with a fresh epoch reflecting the bulk work.
+        """
+        self.adjacency.detach_overlay()
+        with self._lock:
+            self._suspended = True
+
+    # -- pinning ------------------------------------------------------------
+
+    def pin(self) -> EpochPin:
+        """Pin the current epoch for one search."""
+        with self._lock:
+            epoch, overlay = self.current, self.overlay
+            view = EpochView(epoch, overlay, overlay.seq)
+            self._pin_counts[epoch.epoch_id] = \
+                self._pin_counts.get(epoch.epoch_id, 0) + 1
+        return EpochPin(self, epoch, view)
+
+    def _unpin(self, epoch_id: int) -> None:
+        with self._lock:
+            count = self._pin_counts.get(epoch_id, 0) - 1
+            if count <= 0:
+                self._pin_counts.pop(epoch_id, None)
+            else:
+                self._pin_counts[epoch_id] = count
+
+    def active_pins(self) -> int:
+        with self._lock:
+            return sum(self._pin_counts.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            overlay = self.overlay
+            return {
+                "epoch_id": self.current.epoch_id,
+                "epoch_n_nodes": self.current.n_nodes,
+                "n_cuts": self.n_cuts,
+                "overlay_ops": overlay.n_ops if overlay is not None else 0,
+                "overlay_nodes_touched": (overlay.touched_count()
+                                          if overlay is not None else 0),
+                "active_pins": sum(self._pin_counts.values()),
+                "suspended": self._suspended,
+            }
+
+
+class ServingSearcher:
+    """Index-protocol facade serving epoch-pinned searches.
+
+    Exposes ``search``/``search_batch``/``search_many`` and ``dc`` exactly
+    like a :class:`~repro.graphs.base.GraphIndex`, so it drops into
+    :func:`~repro.evalx.runner.evaluate_index` unchanged.  Every search pins
+    the current epoch; batched searches pin once per engine block.  The
+    query path never touches the store's dynamic lists, its refreeze
+    hysteresis, or the O(E) ``freeze`` — epoch-consistency and wait-freedom
+    come from the pin.
+    """
+
+    def __init__(self, fixer, manager: EpochManager, batch_size: int = 32):
+        self.fixer = fixer
+        self.manager = manager
+        self._visited = VisitedTable(fixer.dc.size)
+        self._engine: BatchSearchEngine | None = None
+        self._engine_batch = batch_size
+        self._block_pin: EpochPin | None = None
+
+    @property
+    def dc(self):
+        return self.fixer.dc
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None,
+               collect_visited: bool = False) -> SearchResult:
+        """Top-k search against a pinned epoch view."""
+        if ef is None:
+            ef = max(k, 10)
+        dc = self.dc
+        q = dc.prepare_query(query)
+        with self.manager.pin() as pin:
+            view = pin.view
+            return greedy_search(
+                dc, view, [pin.epoch.entry], q, k=k, ef=ef,
+                visited=self._visited, excluded=view.excluded(),
+                collect_visited=collect_visited, prepared=True,
+            )
+
+    # -- batched path -------------------------------------------------------
+
+    def _pin_block(self) -> EpochView:
+        """graph_fn hook: re-pin at each engine block boundary."""
+        if self._block_pin is not None:
+            self._block_pin.release()
+        self._block_pin = self.manager.pin()
+        return self._block_pin.view
+
+    def _block_excluded(self) -> set[int] | None:
+        return self._block_pin.view.excluded()
+
+    def search_batch(self, queries: np.ndarray, k: int,
+                     ef: int | None = None,
+                     batch_size: int = 32) -> list[SearchResult]:
+        """Batched pinned search; each engine block sees one epoch view."""
+        if ef is None:
+            ef = max(k, 10)
+        engine = self._engine
+        if engine is None or engine.batch_size != batch_size:
+            engine = BatchSearchEngine(
+                self.dc,
+                # Fallback never used: graph_fn always supplies a view.
+                lambda u: self._block_pin.view(u),
+                lambda q: [self._block_pin.epoch.entry],
+                excluded_fn=self._block_excluded,
+                batch_size=batch_size,
+                graph_fn=self._pin_block,
+            )
+            self._engine = engine
+        try:
+            return engine.search_batch(queries, k, ef)
+        finally:
+            if self._block_pin is not None:
+                self._block_pin.release()
+                self._block_pin = None
+
+    def search_many(self, queries: np.ndarray, k: int, ef: int | None = None,
+                    batch_size: int = 32) -> tuple[np.ndarray, np.ndarray]:
+        """Batched search returning padded (ids, distances) arrays."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+        distances = np.full((queries.shape[0], k), np.inf)
+        if batch_size == 1:
+            results = (self.search(q, k=k, ef=ef) for q in queries)
+        else:
+            results = self.search_batch(queries, k, ef, batch_size=batch_size)
+        for i, result in enumerate(results):
+            m = min(k, len(result.ids))
+            ids[i, :m] = result.ids[:m]
+            distances[i, :m] = result.distances[:m]
+        return ids, distances
+
+
+class MaintenanceScheduler:
+    """Serializes writes and folds them into fresh epochs off the query path.
+
+    Three responsibilities:
+
+    1. **Write serialization** — every mutation of the live graph (insert,
+       delete, online fix, merge) runs under :attr:`write_lock`, so the
+       single-writer invariant the overlay relies on holds.
+    2. **Merging** — once the overlay accumulates ``merge_every`` published
+       ops, the scheduler cuts a fresh epoch (the O(E) ``freeze``), swapping
+       it in atomically for new pins.  In-flight pinned searches are
+       untouched.
+    3. **Online repair** — queries fed to :meth:`observe` are queued and
+       repaired with the fixer's NGFix/RFix pass (``fix_query``): hardness is
+       measured against the live graph and edges are added only where the
+       Escape Hardness measurement demands them, so "flagged hard" is
+       decided by the same machinery ``fit()`` uses — now continuously,
+       while serving.
+
+    ``mode="inline"`` (default) drains pending work synchronously at
+    well-defined points (:meth:`observe`, :meth:`note_mutations`,
+    :meth:`run_pending`) — fully deterministic, no threads.
+    ``mode="thread"`` runs the same drain loop on a daemon worker so repair
+    and merging overlap serving; :meth:`flush` waits for quiescence.
+    """
+
+    def __init__(self, fixer, manager: EpochManager, *,
+                 merge_every: int = 256, queue_limit: int = 64,
+                 mode: str = "inline"):
+        if merge_every <= 0:
+            raise ValueError(f"merge_every must be positive, got {merge_every}")
+        if mode not in ("inline", "thread"):
+            raise ValueError(f"mode must be 'inline' or 'thread', got {mode!r}")
+        self.fixer = fixer
+        self.manager = manager
+        self.merge_every = merge_every
+        self.queue_limit = queue_limit
+        self.mode = mode
+        self.write_lock = threading.RLock()
+        self._queue: deque[np.ndarray] = deque()
+        self._idle = threading.Condition()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.n_merges = 0
+        self.n_repairs = 0
+        self.n_observed = 0
+        self.n_dropped = 0
+        self.last_merge_seconds = 0.0
+
+    # -- write-side hooks ---------------------------------------------------
+
+    def observe(self, query: np.ndarray) -> None:
+        """Queue one served query for online NGFix/RFix repair.
+
+        The queue is bounded: under sustained pressure the *oldest* queued
+        query is dropped (the most recent traffic best reflects the current
+        workload).  Inline mode drains immediately; thread mode wakes the
+        worker.
+        """
+        query = np.array(query, dtype=np.float32, copy=True)
+        with self._idle:
+            self._queue.append(query)
+            self.n_observed += 1
+            if len(self._queue) > self.queue_limit:
+                self._queue.popleft()
+                self.n_dropped += 1
+        if self.mode == "inline":
+            self.run_pending()
+        else:
+            self._wake.set()
+
+    def note_mutations(self) -> None:
+        """Signal that graph mutations landed (insert/delete paths call this)."""
+        if not self._merge_due():
+            return
+        if self.mode == "inline":
+            self.run_pending(max_repairs=0)
+        else:
+            self._wake.set()
+
+    def _merge_due(self) -> bool:
+        overlay = self.manager.overlay
+        return overlay is not None and overlay.n_ops >= self.merge_every
+
+    # -- draining -----------------------------------------------------------
+
+    def run_pending(self, max_repairs: int | None = None) -> dict:
+        """Drain queued repairs, then merge if the overlay is due.
+
+        Safe to call from any thread; all work runs under the write lock.
+        Returns counts of what was done.
+        """
+        repaired = 0
+        with self.write_lock:
+            while max_repairs is None or repaired < max_repairs:
+                with self._idle:
+                    if not self._queue:
+                        break
+                    query = self._queue.popleft()
+                self.fixer.fix_query(query)
+                self.n_repairs += 1
+                repaired += 1
+            merged = False
+            if self._merge_due():
+                self.merge_now()
+                merged = True
+        with self._idle:
+            self._idle.notify_all()
+        return {"repaired": repaired, "merged": merged}
+
+    def merge_now(self) -> GraphEpoch:
+        """Cut a fresh epoch from the live graph (O(E), off the query path)."""
+        with self.write_lock:
+            start = time.perf_counter()
+            epoch = self.manager.cut(entry=self.fixer.entry)
+            self.last_merge_seconds = time.perf_counter() - start
+            self.n_merges += 1
+            return epoch
+
+    def bulk(self):
+        """Context manager for bulk rebuilds (``fit``, compaction).
+
+        Suspends overlay logging (serving continues against the pinned
+        pre-bulk epoch), holds the write lock for the duration, and cuts a
+        fresh epoch on exit so the bulk result becomes visible atomically.
+        """
+        return _BulkContext(self)
+
+    # -- background worker --------------------------------------------------
+
+    def start(self) -> "MaintenanceScheduler":
+        """Start the background worker (thread mode only; idempotent)."""
+        if self.mode != "thread":
+            raise RuntimeError("start() requires mode='thread'")
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._worker, name="repro-maintenance", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Stop the background worker, draining nothing further."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def flush(self, timeout: float | None = 10.0) -> bool:
+        """Block until the repair queue is empty and no merge is due.
+
+        In inline mode this drains synchronously.  Returns False on timeout.
+        """
+        if self.mode == "inline" or self._thread is None:
+            self.run_pending()
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._wake.set()
+        with self._idle:
+            while self._queue or self._merge_due():
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(0.05 if remaining is None
+                                else min(0.05, remaining))
+                self._wake.set()
+        return True
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=0.05)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            self.run_pending()
+
+    def stats(self) -> dict:
+        with self._idle:
+            queued = len(self._queue)
+        return {
+            "mode": self.mode,
+            "merges": self.n_merges,
+            "repairs": self.n_repairs,
+            "observed": self.n_observed,
+            "dropped": self.n_dropped,
+            "queued": queued,
+            "last_merge_seconds": self.last_merge_seconds,
+            **{f"epoch_{k}": v for k, v in self.manager.stats().items()},
+        }
+
+
+class _BulkContext:
+    """Write-locked overlay suspension around a bulk rebuild."""
+
+    def __init__(self, scheduler: MaintenanceScheduler):
+        self._scheduler = scheduler
+
+    def __enter__(self):
+        self._scheduler.write_lock.acquire()
+        self._scheduler.manager.suspend_overlay()
+        return self._scheduler
+
+    def __exit__(self, *exc):
+        try:
+            self._scheduler.manager.cut(entry=self._scheduler.fixer.entry)
+            self._scheduler.n_merges += 1
+        finally:
+            self._scheduler.write_lock.release()

@@ -26,6 +26,7 @@ from repro.core.maintenance import IndexMaintainer
 from repro.distances import Metric
 from repro.graphs.hnsw import HNSW
 from repro.io import load_index, save_index
+from repro.serving import EpochManager, MaintenanceScheduler, ServingSearcher
 from repro.utils.validation import check_positive
 
 
@@ -43,11 +44,27 @@ class VectorStore:
     fix_config:
         NGFix* configuration; defaults to approximate preprocessing so
         history fitting never needs exact ground truth.
+    serving:
+        When True (default) queries run through the epoch-based serving
+        layer (:mod:`repro.serving`): every search pins an immutable
+        :class:`~repro.serving.GraphEpoch` plus the delta overlay at a fixed
+        sequence number, so results are epoch-consistent under concurrent
+        mutation and the O(E) CSR refreeze never runs on the query path.
+        Set False to search the live graph directly (the pre-epoch
+        behavior).
+    scheduler_mode:
+        "inline" (deterministic; repairs and merges drain synchronously at
+        mutation/observe boundaries) or "thread" (a background worker does
+        the draining).
+    merge_every:
+        Overlay mutation count that triggers merging into a fresh epoch.
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
                  M: int = 16, ef_construction: int = 100,
-                 fix_config: FixConfig | None = None, seed: int = 0):
+                 fix_config: FixConfig | None = None, seed: int = 0,
+                 serving: bool = True, scheduler_mode: str = "inline",
+                 merge_every: int = 256):
         check_positive(dim, "dim")
         self.dim = dim
         self.metric = Metric.parse(metric)
@@ -59,6 +76,12 @@ class VectorStore:
         self._fixer: NGFixer | None = None
         self._maintainer: IndexMaintainer | None = None
         self._history: list[np.ndarray] = []
+        self._serving_enabled = serving
+        self._scheduler_mode = scheduler_mode
+        self._merge_every = merge_every
+        self._manager: EpochManager | None = None
+        self._searcher: ServingSearcher | None = None
+        self._scheduler: MaintenanceScheduler | None = None
 
     # -- ingestion ----------------------------------------------------------
 
@@ -71,6 +94,11 @@ class VectorStore:
     @property
     def is_built(self) -> bool:
         return self._fixer is not None
+
+    @property
+    def dc(self):
+        """The distance computer (index protocol; None before build)."""
+        return self._fixer.dc if self._fixer is not None else None
 
     @property
     def deleted_ids(self) -> set[int]:
@@ -96,6 +124,9 @@ class VectorStore:
             first_id = sum(v.shape[0] for v in self._pending)
             self._pending.append(vectors)
             ids = list(range(first_id, first_id + vectors.shape[0]))
+        elif self._scheduler is not None:
+            with self._scheduler.write_lock:
+                ids = self._maintainer.insert(vectors)
         else:
             ids = self._maintainer.insert(vectors)
         if payloads is not None:
@@ -118,25 +149,57 @@ class VectorStore:
         self._maintainer = IndexMaintainer(
             self._fixer, np.empty((0, self.dim), dtype=np.float32)
             if not self._history else np.vstack(self._history))
+        self._attach_serving()
         return self
+
+    def _attach_serving(self) -> None:
+        """Stand up the epoch serving stack around the built index."""
+        if not self._serving_enabled:
+            return
+        self._manager = EpochManager(self._fixer.adjacency, self._fixer.entry)
+        self._searcher = ServingSearcher(self._fixer, self._manager)
+        self._scheduler = MaintenanceScheduler(
+            self._fixer, self._manager, merge_every=self._merge_every,
+            mode=self._scheduler_mode)
+        self._maintainer.on_change = self._scheduler.note_mutations
+        if self._scheduler_mode == "thread":
+            self._scheduler.start()
 
     # -- fixing -------------------------------------------------------------
 
     def fit_history(self, queries: np.ndarray) -> dict:
-        """Run NGFix*/RFix over historical queries (builds first if needed)."""
+        """Run NGFix*/RFix over historical queries (builds first if needed).
+
+        Under serving, the bulk fit runs with overlay logging suspended —
+        in-flight searches keep serving the pre-fit epoch and the fitted
+        graph becomes visible atomically via a fresh epoch cut on exit.
+        """
         if self._fixer is None:
             self.build()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         self._history.append(queries)
         self._maintainer.history = np.vstack(self._history)
-        self._fixer.fit(queries)
+        if self._scheduler is not None:
+            with self._scheduler.bulk():
+                self._fixer.fit(queries)
+        else:
+            self._fixer.fit(queries)
         return self._fixer.stats()
 
     def observe(self, query: np.ndarray) -> None:
-        """Feed one served query back into online fixing."""
+        """Feed one served query back into online fixing.
+
+        Under serving this enqueues the query with the maintenance
+        scheduler, which repairs it with the full NGFix/RFix pass off the
+        query path (synchronously in "inline" mode, on the background
+        worker in "thread" mode).  Without serving it repairs immediately.
+        """
         if self._fixer is None:
             raise RuntimeError("build() before observe()")
-        self._fixer.fix_query(np.asarray(query, dtype=np.float32))
+        if self._scheduler is not None:
+            self._scheduler.observe(np.asarray(query, dtype=np.float32))
+        else:
+            self._fixer.fix_query(np.asarray(query, dtype=np.float32))
 
     # -- serving ------------------------------------------------------------
 
@@ -152,15 +215,16 @@ class VectorStore:
         if self._fixer is None:
             self.build()
         query = np.asarray(query, dtype=np.float32)
+        searcher = self._searcher if self._searcher is not None else self._fixer
         if where is None:
-            result = self._fixer.search(query, k=k, ef=ef)
+            result = searcher.search(query, k=k, ef=ef)
             return [(int(i), float(d), self._payloads.get(int(i)))
                     for i, d in zip(result.ids, result.distances)]
 
         fetch = 4 * k
         while True:
-            result = self._fixer.search(query, k=fetch,
-                                        ef=max(ef or 0, fetch))
+            result = searcher.search(query, k=fetch,
+                                     ef=max(ef or 0, fetch))
             hits = [(int(i), float(d), self._payloads.get(int(i)))
                     for i, d in zip(result.ids, result.distances)
                     if where(self._payloads.get(int(i)))]
@@ -168,19 +232,59 @@ class VectorStore:
                 return hits[:k]
             fetch *= 2
 
+    def search_batch(self, queries: np.ndarray, k: int = 10,
+                     ef: int | None = None, batch_size: int = 32):
+        """Batched top-k over many queries; one epoch pin per engine block.
+
+        Returns a list of :class:`~repro.graphs.search.SearchResult` (no
+        payload join — use :meth:`get_payload` for that), taking the batched
+        lock-step engine which is the throughput-optimal path.
+        """
+        if self._fixer is None:
+            self.build()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        searcher = self._searcher if self._searcher is not None else self._fixer
+        return searcher.search_batch(queries, k, ef, batch_size=batch_size)
+
     def get_payload(self, vector_id: int) -> Any:
         return self._payloads.get(int(vector_id))
 
     # -- maintenance ----------------------------------------------------------
 
     def delete(self, ids) -> bool:
-        """Delete vectors; compaction + NGFix repair fire automatically."""
+        """Delete vectors; compaction + NGFix repair fire automatically.
+
+        Under serving, a compaction (which rewires edges store-wide) is
+        immediately followed by an epoch merge so new pins see the compacted
+        graph rather than paying overlay lookups for every rewired node.
+        """
         if self._fixer is None:
             raise RuntimeError("build() before delete()")
-        compacted = self._maintainer.delete(ids)
+        if self._scheduler is not None:
+            with self._scheduler.write_lock:
+                compacted = self._maintainer.delete(ids)
+                if compacted:
+                    self._scheduler.merge_now()
+        else:
+            compacted = self._maintainer.delete(ids)
         for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
             self._payloads.pop(int(i), None)
         return compacted
+
+    def flush(self) -> None:
+        """Drain pending online repairs and due merges (no-op sans serving)."""
+        if self._scheduler is not None:
+            self._scheduler.flush()
+
+    @property
+    def scheduler(self) -> MaintenanceScheduler | None:
+        """The serving maintenance scheduler (None before build / sans serving)."""
+        return self._scheduler
+
+    @property
+    def epochs(self) -> EpochManager | None:
+        """The epoch manager (None before build / sans serving)."""
+        return self._manager
 
     def stats(self) -> dict:
         if self._fixer is None:
@@ -188,6 +292,8 @@ class VectorStore:
         out = self._fixer.stats()
         out["built"] = True
         out["payloads"] = len(self._payloads)
+        if self._scheduler is not None:
+            out["serving"] = self._scheduler.stats()
         return out
 
     # -- persistence ----------------------------------------------------------
@@ -204,13 +310,14 @@ class VectorStore:
 
     @classmethod
     def load(cls, path: str | pathlib.Path,
-             fix_config: FixConfig | None = None) -> "VectorStore":
+             fix_config: FixConfig | None = None,
+             serving: bool = True) -> "VectorStore":
         """Reload a saved store; further fixing works, insertion does not
         (the frozen graph lacks HNSW's builder state)."""
         path = pathlib.Path(path)
         frozen = load_index(path)
         store = cls(dim=frozen.dc.dim, metric=frozen.dc.metric,
-                    fix_config=fix_config)
+                    fix_config=fix_config, serving=serving)
         store._fixer = NGFixer(frozen, store.fix_config)
         store._fixer.entry = frozen.entry
         store._maintainer = IndexMaintainer(
@@ -219,4 +326,5 @@ class VectorStore:
         if sidecar.exists():
             store._payloads = {int(k): v for k, v in
                                json.loads(sidecar.read_text()).items()}
+        store._attach_serving()
         return store

@@ -6,12 +6,50 @@ that mutate a graph must take a fresh copy (see ``fresh_hnsw``).
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.datasets import CrossModalConfig, make_cross_modal_dataset
 from repro.evalx import compute_ground_truth
 from repro.graphs import HNSW
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for ``@pytest.mark.timeout`` sans pytest-timeout.
+
+    Maintenance/serving tests mark a timeout so a stuck background merge or
+    a deadlocked scheduler fails fast instead of hanging the whole suite.
+    When pytest-timeout is installed (CI) it handles the mark natively; this
+    fallback covers environments without it, using the interruptible-ish
+    SIGALRM mechanism (main thread, POSIX only — a no-op elsewhere).
+    """
+    marker = item.get_closest_marker("timeout")
+    if (_HAVE_PYTEST_TIMEOUT or marker is None
+            or not hasattr(signal, "SIGALRM")):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout mark")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 TINY = CrossModalConfig(

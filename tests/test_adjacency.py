@@ -75,6 +75,18 @@ class TestEviction:
         assert store.evict_lowest_eh(0) == (2, 7.0)
         assert store.extra_neighbors(0) == {1: EH_INFINITE}
 
+    def test_tie_break_is_lowest_id_regardless_of_insertion_order(self):
+        """Equal-EH eviction must pick the smallest target id no matter the
+        order the edges were added in, so repair runs are reproducible
+        across worker counts (the dict iteration order differs)."""
+        for order in ([4, 2, 9], [9, 4, 2], [2, 9, 4]):
+            store = AdjacencyStore(12)
+            for v in order:
+                store.add_extra_edge(0, v, eh=3.0)
+            assert store.evict_lowest_eh(0) == (2, 3.0)
+            assert store.evict_lowest_eh(0) == (4, 3.0)
+            assert store.evict_lowest_eh(0) == (9, 3.0)
+
 
 class TestCacheInvalidation:
     def test_neighbors_cache_refreshes(self, store):
@@ -164,6 +176,27 @@ class TestMaintenanceHooks:
         clone.add_extra_edge(1, 3, eh=1.0)
         assert store.base_neighbors(0) == [1]
         assert store.extra_degree(1) == 0
+
+    def test_grow_invalidates_csr_view(self, store):
+        """Regression: a CSR snapshot frozen before grow() must never be
+        served afterwards — its n_nodes lags the store and traversing it
+        would silently hide the appended nodes."""
+        store.add_base_edge(0, 1)
+        view = store.freeze()
+        assert store.csr_view() is view
+        store.grow(3)
+        assert store.csr_view() is None
+        assert store.freeze().n_nodes == store.n_nodes
+
+    def test_csr_view_guard_catches_stale_snapshot(self, store):
+        """Even a view reinstated by buggy external code is rejected: the
+        guard version-checks n_nodes/store_version at read time."""
+        store.add_base_edge(0, 1)
+        stale = store.freeze()
+        store.grow(2)
+        store._frozen = stale  # simulate a forgotten invalidation
+        assert store.csr_view() is None
+        assert store.traversal() is not stale
 
 
 def test_invalid_node_count():

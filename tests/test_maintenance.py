@@ -7,6 +7,10 @@ from repro.core import FixConfig, IndexMaintainer, NGFixer
 from repro.evalx import recall_at_k
 from repro.graphs import HNSW, NSG
 
+# Maintenance paths interact with background merging; a stuck compaction or
+# rebuild must fail fast rather than hang the suite.
+pytestmark = pytest.mark.timeout(120)
+
 
 def _fixer(tiny_ds, n_base=300):
     base = HNSW(tiny_ds.base[:n_base], tiny_ds.metric, M=8, ef_construction=40,

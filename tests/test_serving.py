@@ -1,0 +1,310 @@
+"""Epoch-based serving layer: pins, overlay, scheduler, store wiring.
+
+The load-bearing guarantees under test:
+
+- **Epoch consistency** — a search against a pinned epoch returns
+  bit-identical results no matter how many inserts/deletes/fixes land in the
+  overlay after the pin (property-tested over random interleaves).
+- **Tombstone safety** — a deleted id never surfaces in post-deletion
+  results, pinned-before-deletion views still (correctly) serve it.
+- **Zero O(E) refreezes on the query path** — serving never rebuilds the
+  CSR; only scheduler merges do.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import VectorStore
+from repro.graphs.adjacency import AdjacencyStore, ObservedTombstones
+from repro.graphs.search import greedy_search
+from repro.serving import DeltaOverlay, EpochManager, MaintenanceScheduler
+
+pytestmark = pytest.mark.timeout(120)
+
+DIM = 16
+N_BASE = 150
+_rng = np.random.default_rng(11)
+BASE = _rng.standard_normal((N_BASE, DIM)).astype(np.float32)
+EXTRA = _rng.standard_normal((80, DIM)).astype(np.float32)
+QUERIES = _rng.standard_normal((12, DIM)).astype(np.float32)
+
+
+def make_store(merge_every=50, mode="inline", serving=True):
+    store = VectorStore(dim=DIM, metric="l2", M=8, ef_construction=40,
+                        serving=serving, scheduler_mode=mode,
+                        merge_every=merge_every)
+    store.add(BASE)
+    store.build()
+    return store
+
+
+def pinned_search(store, pin, query, k=10, ef=30):
+    view = pin.view
+    return greedy_search(store.dc, view, [pin.epoch.entry], query,
+                         k=k, ef=ef, excluded=view.excluded())
+
+
+class TestDeltaOverlay:
+    def test_publish_after_append_sequencing(self):
+        overlay = DeltaOverlay(base_n_nodes=10)
+        assert overlay.seq == 0
+        overlay.record_node(3, np.array([1, 2], dtype=np.int64))
+        overlay.record_node(3, np.array([1, 2, 5], dtype=np.int64))
+        overlay.record_tombstone(7)
+        assert overlay.seq == 3
+        # Each pinned seq resolves the exact prefix.
+        assert overlay.resolve(3, 0) is None
+        assert overlay.resolve(3, 1).tolist() == [1, 2]
+        assert overlay.resolve(3, 2).tolist() == [1, 2, 5]
+        assert overlay.resolve(3, 99).tolist() == [1, 2, 5]
+        assert overlay.tombstones_at(2) == set()
+        assert overlay.tombstones_at(3) == {7}
+
+    def test_untouched_node_resolves_none(self):
+        overlay = DeltaOverlay(base_n_nodes=10)
+        overlay.record_node(1, np.array([2], dtype=np.int64))
+        assert overlay.resolve(0, overlay.seq) is None
+
+
+class TestObservedTombstones:
+    def test_additions_logged_to_overlay(self):
+        store = AdjacencyStore(8)
+        overlay = DeltaOverlay(8)
+        store.attach_overlay(overlay)
+        assert isinstance(store.tombstones, ObservedTombstones)
+        store.tombstones.add(3)
+        store.tombstones.update({3, 5})  # 3 is a duplicate — logged once
+        assert overlay.tombstones_at(overlay.seq) == {3, 5}
+        assert overlay.seq == 2
+
+    def test_detach_stops_logging(self):
+        store = AdjacencyStore(8)
+        overlay = DeltaOverlay(8)
+        store.attach_overlay(overlay)
+        store.detach_overlay()
+        store.tombstones.add(2)
+        store.add_base_edge(0, 1)
+        assert overlay.seq == 0
+
+
+class TestEpochView:
+    def test_overlay_wins_over_csr(self):
+        adjacency = AdjacencyStore(4)
+        adjacency.add_base_edge(0, 1)
+        manager = EpochManager(adjacency, entry=0)
+        pin0 = manager.pin()
+        adjacency.add_base_edge(0, 2)
+        pin1 = manager.pin()
+        assert pin0.view.neighbors(0).tolist() == [1]
+        assert pin1.view.neighbors(0).tolist() == [1, 2]
+        # Nodes beyond the epoch horizon read empty until they get edges.
+        adjacency.grow(1)
+        pin2 = manager.pin()
+        assert pin2.view.neighbors(4).size == 0
+        adjacency.set_base_neighbors(4, [0])
+        assert manager.pin().view.neighbors(4).tolist() == [0]
+
+    def test_neighbors_block_matches_per_node(self):
+        adjacency = AdjacencyStore(5)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+            adjacency.add_base_edge(u, v)
+        manager = EpochManager(adjacency, entry=0)
+        adjacency.add_base_edge(1, 4)
+        adjacency.grow(1)
+        adjacency.set_base_neighbors(5, [2, 3])
+        view = manager.pin().view
+        nodes = np.array([0, 1, 5, 4], dtype=np.int64)
+        flat, counts = view.neighbors_block(nodes)
+        per_node = [view.neighbors(int(u)).tolist() for u in nodes]
+        assert counts.tolist() == [len(p) for p in per_node]
+        assert flat.tolist() == [x for p in per_node for x in p]
+
+    def test_block_fast_path_on_clean_overlay(self):
+        adjacency = AdjacencyStore(4)
+        adjacency.add_base_edge(0, 1)
+        manager = EpochManager(adjacency, entry=0)
+        view = manager.pin().view
+        flat, counts = view.neighbors_block(np.array([0, 1], dtype=np.int64))
+        assert flat.tolist() == [1] and counts.tolist() == [1, 0]
+
+
+class TestEpochManager:
+    def test_pin_counting_and_release_idempotent(self):
+        adjacency = AdjacencyStore(3)
+        manager = EpochManager(adjacency, entry=0)
+        pin = manager.pin()
+        with manager.pin():
+            assert manager.active_pins() == 2
+        pin.release()
+        pin.release()
+        assert manager.active_pins() == 0
+
+    def test_cut_swaps_epoch_and_overlay(self):
+        adjacency = AdjacencyStore(3)
+        manager = EpochManager(adjacency, entry=0)
+        adjacency.add_base_edge(0, 1)
+        assert manager.overlay.seq == 1
+        old = manager.pin()
+        manager.cut(entry=0)
+        assert manager.overlay.seq == 0  # fresh overlay
+        assert manager.current.epoch_id == old.epoch.epoch_id + 1
+        # The old pin still reads through its (now retired) overlay.
+        assert old.view.neighbors(0).tolist() == [1]
+
+
+class TestServingStore:
+    def test_search_results_match_live_graph(self):
+        store = make_store()
+        live = store._fixer
+        for q in QUERIES:
+            served = [i for i, _, _ in store.search(q, k=5, ef=30)]
+            direct = live.search(q, k=5, ef=30).ids.tolist()
+            assert served == direct
+
+    def test_batch_matches_sequential_serving(self):
+        store = make_store()
+        batch = store.search_batch(QUERIES, k=5, ef=30, batch_size=4)
+        for q, res in zip(QUERIES, batch):
+            seq = [i for i, _, _ in store.search(q, k=5, ef=30)]
+            assert res.ids.tolist() == seq
+
+    def test_deleted_id_never_surfaces(self):
+        store = make_store()
+        q = QUERIES[0]
+        victim = store.search(q, k=1, ef=30)[0][0]
+        store.delete([victim])
+        for ef in (10, 30, 60):
+            assert victim not in [i for i, _, _ in store.search(q, k=10, ef=ef)]
+        for res in store.search_batch(QUERIES, k=10, ef=30):
+            assert victim not in res.ids.tolist()
+
+    def test_insert_becomes_visible(self):
+        store = make_store()
+        new_id = store.add(EXTRA[:1])[0]
+        res = store.search(EXTRA[0], k=1, ef=40)
+        assert res[0][0] == new_id
+
+    def test_no_query_path_freezes(self):
+        store = make_store(merge_every=10_000)
+        adjacency = store._fixer.adjacency
+        store.add(EXTRA[:5])
+        store.delete([0])
+        frozen_before = adjacency.n_freezes
+        store.search_batch(QUERIES, k=5, ef=30, batch_size=4)
+        for q in QUERIES:
+            store.search(q, k=5, ef=30)
+        assert adjacency.n_freezes == frozen_before
+
+    def test_merge_threshold_cuts_epoch(self):
+        store = make_store(merge_every=5)
+        epoch0 = store.epochs.current.epoch_id
+        store.add(EXTRA[:8])  # dozens of edge mutations > threshold
+        assert store.scheduler.n_merges >= 1
+        assert store.epochs.current.epoch_id > epoch0
+
+    def test_observe_runs_online_repair(self):
+        store = make_store()
+        store.observe(QUERIES[0])
+        assert store.scheduler.n_repairs == 1
+        assert store.scheduler.stats()["queued"] == 0
+
+    def test_fit_history_is_bulk_and_cuts_epoch(self):
+        store = make_store()
+        epoch0 = store.epochs.current.epoch_id
+        store.fit_history(QUERIES)
+        assert store.epochs.current.epoch_id > epoch0
+        assert store.epochs.overlay.seq == 0
+
+    def test_serving_disabled_falls_back(self):
+        store = make_store(serving=False)
+        assert store.scheduler is None and store.epochs is None
+        q = QUERIES[0]
+        assert [i for i, _, _ in store.search(q, k=5, ef=30)]
+
+    def test_save_load_roundtrip_reattaches_serving(self, tmp_path):
+        store = make_store()
+        store.delete([5])
+        path = store.save(tmp_path / "index.npz")
+        loaded = VectorStore.load(path)
+        assert loaded.epochs is not None
+        q = QUERIES[0]
+        ids = [i for i, _, _ in loaded.search(q, k=10, ef=30)]
+        assert ids and 5 not in ids
+
+    def test_stats_expose_serving_block(self):
+        store = make_store()
+        block = store.stats()["serving"]
+        assert block["mode"] == "inline"
+        assert block["epoch_epoch_id"] >= 1
+
+
+class TestPinnedConsistency:
+    """Tentpole property: pinned results are immutable under overlay churn."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.sampled_from(["insert", "delete", "observe"]),
+                    min_size=1, max_size=12),
+           st.randoms(use_true_random=False))
+    def test_pinned_results_bit_identical_under_churn(self, ops, rnd):
+        store = make_store(merge_every=15)
+        pin = store.epochs.pin()
+        reference = [pinned_search(store, pin, q) for q in QUERIES[:4]]
+
+        deleted: list[int] = []
+        extra_cursor = 0
+        for op in ops:
+            if op == "insert" and extra_cursor < len(EXTRA):
+                store.add(EXTRA[extra_cursor:extra_cursor + 1])
+                extra_cursor += 1
+            elif op == "delete":
+                alive = [i for i in range(N_BASE) if i not in deleted]
+                victim = rnd.choice(alive)
+                store.delete([victim])
+                deleted.append(victim)
+            else:
+                store.observe(QUERIES[rnd.randrange(len(QUERIES))])
+            # The pinned view must replay the exact pre-churn results after
+            # every single mutation, including across epoch merges.
+            for q, ref in zip(QUERIES[:4], reference):
+                res = pinned_search(store, pin, q)
+                np.testing.assert_array_equal(res.ids, ref.ids)
+                np.testing.assert_array_equal(res.distances, ref.distances)
+
+        # And the live store never surfaces a tombstoned id.
+        for q in QUERIES:
+            served = [i for i, _, _ in store.search(q, k=10, ef=40)]
+            assert not set(served) & set(deleted)
+        pin.release()
+
+
+class TestThreadScheduler:
+    @pytest.mark.timeout(60)
+    def test_background_worker_drains_and_merges(self):
+        store = make_store(merge_every=10, mode="thread")
+        try:
+            store.observe(QUERIES[0])
+            store.add(EXTRA[:4])
+            assert store.scheduler.flush(timeout=30)
+            assert store.scheduler.n_repairs == 1
+            assert store.scheduler.n_merges >= 1
+            # Serving keeps working while the worker runs.
+            ids = [i for i, _, _ in store.search(QUERIES[1], k=5, ef=30)]
+            assert len(ids) == 5
+        finally:
+            store.scheduler.stop()
+
+    @pytest.mark.timeout(60)
+    def test_stop_is_idempotent(self):
+        store = make_store(mode="thread")
+        store.scheduler.stop()
+        store.scheduler.stop()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            MaintenanceScheduler(None, None, mode="eager")
+
+    def test_invalid_merge_every_rejected(self):
+        with pytest.raises(ValueError, match="merge_every"):
+            MaintenanceScheduler(None, None, merge_every=0)
