@@ -57,6 +57,7 @@ from repro.graphs import (
 )
 from repro.graphs.entry import MultiEntryIndex, MedoidEntry, RandomEntry, CentroidsEntry
 from repro.io import save_index, load_index, FrozenIndex
+from repro.obs import OBS, TRACES, MetricsRegistry, QueryTrace, TraceLog
 from repro.quantization import ProductQuantizer, PQRerankSearcher, IVFFlat
 from repro.serving import (
     DeltaOverlay,
@@ -154,6 +155,11 @@ __all__ = [
     "make_drifting_workload",
     "DriftingWorkload",
     "VectorStore",
+    "OBS",
+    "TRACES",
+    "MetricsRegistry",
+    "QueryTrace",
+    "TraceLog",
     "GraphEpoch",
     "DeltaOverlay",
     "EpochView",

@@ -8,9 +8,13 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli evaluate --dataset laion-sim --index-file /tmp/fixed.npz
     python -m repro.cli churn --dataset laion-sim --mutation-fraction 0.1
     python -m repro.cli analyze --dataset laion-sim
+    python -m repro.cli stats --dataset laion-sim --format both
 
-Every command accepts ``--scale`` to shrink the synthetic corpora and
-``--seed`` for reproducibility.
+Every command accepts ``--scale`` to shrink the synthetic corpora,
+``--seed`` for reproducibility, and ``--telemetry`` to collect metrics
+(see docs/observability.md) and dump a Prometheus-text exposition at the
+end of the run.  ``stats`` serves a sample workload with telemetry forced
+on and emits the full metric surface (Prometheus text and/or JSON).
 """
 
 from __future__ import annotations
@@ -34,6 +38,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "truth, parallel construction, NGFix "
                              "preprocessing, evaluation); results are "
                              "identical for any value")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect metrics during the run and print the "
+                             "Prometheus text exposition at the end")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +91,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="hardness diagnostics for a dataset")
     _add_common(p_an)
+
+    p_stats = sub.add_parser(
+        "stats", help="serve a sample workload with telemetry and dump "
+                      "the metric surface")
+    _add_common(p_stats)
+    p_stats.add_argument("--ef", type=int, default=40)
+    p_stats.add_argument("--batch-size", type=int, default=32)
+    p_stats.add_argument("--format", default="both",
+                         choices=["prom", "json", "both"],
+                         help="Prometheus text, JSON snapshot, or both")
+    p_stats.add_argument("--traces", type=int, default=0,
+                         help="also dump the N most recent per-query traces "
+                              "as JSON (0 = off)")
 
     p_ex = sub.add_parser("explain", help="diagnose one test query in depth")
     _add_common(p_ex)
@@ -227,6 +247,56 @@ def _cmd_churn(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Serve a representative workload with telemetry on, dump the metrics.
+
+    Exercises every instrumented layer so the exposition demonstrates the
+    full catalog: batched + sequential epoch-pinned serving, hash-cache hits
+    and misses, online repair on the background worker (liveness heartbeat),
+    and an epoch merge.
+    """
+    from repro import VectorStore, obs
+    from repro.core.hash_cache import CachedSearcher
+    obs.enable()
+    ds = _load_dataset(args)
+    store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
+                        M=12, ef_construction=60, seed=args.seed,
+                        scheduler_mode="thread")
+    store.add(ds.base)
+    store.build()
+    try:
+        k, ef = args.k, max(args.ef, args.k)
+        searcher = store.searcher
+        cached = CachedSearcher(searcher)
+        # Warm the cache on half the test queries, then serve the full set
+        # batched: half hit, half miss — a visible hit ratio.
+        warm = ds.test_queries[: len(ds.test_queries) // 2]
+        ids, dists = searcher.search_many(warm, k, ef,
+                                          batch_size=args.batch_size)
+        cached.warm(warm, ids, dists)
+        cached.search_batch(ds.test_queries, k, ef,
+                            batch_size=args.batch_size)
+        for query in ds.test_queries[:4]:
+            store.search(query, k=k, ef=ef)   # sequential pinned path
+            store.observe(query)              # background NGFix/RFix repair
+        store.flush()
+        store.scheduler.merge_now()
+        # Snapshot while the worker is still running so liveness gauges
+        # reflect the serving state, not the post-shutdown one.
+        prom = obs.OBS.prometheus_text()
+        blob = obs.OBS.to_json(indent=2)
+        traces = obs.TRACES.to_json(n=args.traces, indent=2)
+    finally:
+        store.scheduler.stop()
+    if args.format in ("prom", "both"):
+        print(prom)
+    if args.format in ("json", "both"):
+        print(blob)
+    if args.traces:
+        print(traces)
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro import HNSW, compute_ground_truth
     from repro.core.analysis import phase_reach_stats
@@ -287,6 +357,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "churn": _cmd_churn,
     "analyze": _cmd_analyze,
+    "stats": _cmd_stats,
     "explain": _cmd_explain,
 }
 
@@ -294,7 +365,16 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    telemetry = getattr(args, "telemetry", False)
+    if telemetry:
+        from repro import obs
+        obs.enable()
+    code = _COMMANDS[args.command](args)
+    if telemetry and args.command != "stats":
+        from repro import obs
+        print("\n# telemetry (Prometheus text exposition)")
+        print(obs.OBS.prometheus_text(), end="")
+    return code
 
 
 if __name__ == "__main__":

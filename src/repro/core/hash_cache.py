@@ -5,7 +5,9 @@ returning the stored ground truth short-circuits graph search (the paper
 measures ~9% of graph-search latency on MainSearch).  The cache cannot
 generalize to unseen queries and costs memory per stored answer — both
 trade-offs the paper calls out — so :class:`CachedSearcher` composes it with
-a graph index: hit → cached answer, miss → ANNS.
+a graph index: hit → cached answer, miss → ANNS.  Batched searches partition
+the block into hits and misses and run the engine only on the misses, so the
+cache composes with the throughput-optimal path too.
 """
 
 from __future__ import annotations
@@ -15,6 +17,12 @@ import hashlib
 import numpy as np
 
 from repro.graphs.search import SearchResult
+from repro.obs import OBS, TRACES, QueryTrace
+
+_CACHE_HITS = OBS.counter(
+    "cache_hits", "hash-cache lookups answered from the store")
+_CACHE_MISSES = OBS.counter(
+    "cache_misses", "hash-cache lookups that fell through to the index")
 
 
 def _query_key(query: np.ndarray, algorithm: str) -> bytes:
@@ -33,14 +41,34 @@ class HashTableCache:
         self._store: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        # Callback gauges track the most recently constructed cache (tests
+        # and services alike build one long-lived instance).
+        OBS.gauge_fn("cache_entries", lambda: len(self._store),
+                     "answers stored in the hash cache")
+        OBS.gauge_fn("cache_memory_bytes", self.memory_bytes,
+                     "approximate hash-cache footprint in bytes")
+        OBS.gauge_fn("cache_hit_ratio", self.hit_ratio,
+                     "fraction of hash-cache lookups that hit")
 
     def __len__(self) -> int:
         return len(self._store)
 
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def put(self, query: np.ndarray, ids: np.ndarray, distances: np.ndarray) -> None:
-        """Store a query's answer (overwrites a prior entry)."""
-        ids = np.asarray(ids, dtype=np.int64)
-        distances = np.asarray(distances, dtype=np.float64)
+        """Store a query's answer (overwrites a prior entry).
+
+        The arrays are always copied: ``np.asarray`` would alias the
+        caller's buffers whenever the dtypes already match, and a caller
+        mutating its ids/distances in place afterwards would silently
+        corrupt the cached answer (``get`` copies on the way out for the
+        same reason).
+        """
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        distances = np.array(distances, dtype=np.float64, copy=True)
         if ids.shape != distances.shape:
             raise ValueError("ids and distances must align")
         self._store[_query_key(query, self.algorithm)] = (ids, distances)
@@ -50,8 +78,10 @@ class HashTableCache:
         entry = self._store.get(_query_key(query, self.algorithm))
         if entry is None or entry[0].shape[0] < k:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self.hits += 1
+        _CACHE_HITS.inc()
         return SearchResult(ids=entry[0][:k].copy(), distances=entry[1][:k].copy())
 
     def drop_if_contains(self, deleted) -> int:
@@ -101,17 +131,71 @@ class CachedSearcher:
         """Drop cached answers referencing ``ids`` (call on deletion)."""
         return self.cache.drop_if_contains(ids)
 
-    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
+    def _cached(self, query: np.ndarray, k: int) -> SearchResult | None:
+        """Cache lookup with the tombstone-staleness guard applied."""
         hit = self.cache.get(query, k)
+        if hit is None:
+            return None
+        tombstones = getattr(getattr(self.index, "adjacency", None),
+                             "tombstones", None)
+        if tombstones and not tombstones.isdisjoint(hit.ids.tolist()):
+            # A deletion bypassed invalidate(); purge all stale entries
+            # and treat this lookup as a miss.
+            self.cache.drop_if_contains(tombstones)
+            self.cache.hits -= 1
+            self.cache.misses += 1
+            return None
+        if OBS.enabled:
+            TRACES.record(QueryTrace(k=k, cache_hit=True))
+        return hit
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
+        hit = self._cached(query, k)
         if hit is not None:
-            tombstones = getattr(getattr(self.index, "adjacency", None),
-                                 "tombstones", None)
-            if tombstones and not tombstones.isdisjoint(hit.ids.tolist()):
-                # A deletion bypassed invalidate(); purge all stale entries
-                # and treat this lookup as a miss.
-                self.cache.drop_if_contains(tombstones)
-                self.cache.hits -= 1
-                self.cache.misses += 1
-            else:
-                return hit
+            return hit
         return self.index.search(query, k=k, ef=ef)
+
+    def search_batch(self, queries: np.ndarray, k: int,
+                     ef: int | None = None,
+                     batch_size: int = 32) -> list[SearchResult]:
+        """Batched search: cached hits answer instantly, only misses run.
+
+        The block is partitioned into cache hits and misses; the misses go
+        through the underlying index's batch engine in one call (falling
+        back to its sequential ``search`` when it has no batched path), and
+        the results are re-interleaved in query order.  Results are
+        identical to calling :meth:`search` per query.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        results: list[SearchResult | None] = [None] * queries.shape[0]
+        miss_rows: list[int] = []
+        for i, query in enumerate(queries):
+            hit = self._cached(query, k)
+            if hit is not None:
+                results[i] = hit
+            else:
+                miss_rows.append(i)
+        if miss_rows:
+            batch_fn = getattr(self.index, "search_batch", None)
+            if batch_fn is not None:
+                missed = batch_fn(queries[miss_rows], k, ef,
+                                  batch_size=batch_size)
+            else:
+                missed = [self.index.search(queries[i], k=k, ef=ef)
+                          for i in miss_rows]
+            for i, result in zip(miss_rows, missed):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def search_many(self, queries: np.ndarray, k: int, ef: int | None = None,
+                    batch_size: int = 32) -> tuple[np.ndarray, np.ndarray]:
+        """Batched search returning padded (ids, distances) arrays."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+        distances = np.full((queries.shape[0], k), np.inf)
+        for i, result in enumerate(self.search_batch(queries, k, ef,
+                                                     batch_size=batch_size)):
+            m = min(k, len(result.ids))
+            ids[i, :m] = result.ids[:m]
+            distances[i, :m] = result.distances[:m]
+        return ids, distances

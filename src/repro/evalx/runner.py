@@ -19,8 +19,29 @@ import numpy as np
 
 from repro.evalx.ground_truth import GroundTruth
 from repro.evalx.metrics import recall_per_query, rderr_per_query
+from repro.obs import OBS
 from repro.utils.parallel import chunk_bounds, effective_workers, parallel_map
 from repro.utils.validation import check_positive
+
+# Aggregate accounting flows through the registry (recorded once per run, in
+# the master process, so the fork-pool NDC-delta bookkeeping is unaffected).
+_EVAL_QUERIES = OBS.counter(
+    "eval_queries", "queries evaluated by evaluate_index")
+_EVAL_NDC = OBS.counter(
+    "eval_ndc", "distance computations accounted by evaluate_index")
+_EVAL_SECONDS = OBS.histogram(
+    "eval_run_seconds", "wall-clock seconds of one evaluate_index call",
+    buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+             60.0))
+_EVAL_RECALL = OBS.gauge("eval_last_recall", "recall of the last evaluation")
+_EVAL_QPS = OBS.gauge("eval_last_qps", "QPS of the last evaluation")
+_CHURN_SEARCH_SECONDS = OBS.counter(
+    "churn_search_seconds", "search wall-clock inside interleaved workloads")
+_CHURN_MUTATION_SECONDS = OBS.counter(
+    "churn_mutation_seconds",
+    "mutation wall-clock inside interleaved workloads")
+_CHURN_MUTATIONS = OBS.counter(
+    "churn_mutations", "inserts + deletes applied by interleaved workloads")
 
 
 @dataclasses.dataclass
@@ -108,11 +129,18 @@ def evaluate_index(
         rderr = float(rderr_per_query(found_d[finite], gt_k.distances[finite]).mean())
     else:
         rderr = float("inf")
+    qps = queries.shape[0] / max(elapsed, 1e-9)
+    if OBS.enabled:
+        _EVAL_QUERIES.inc(n_queries)
+        _EVAL_NDC.inc(int(ndc))
+        _EVAL_SECONDS.observe(elapsed)
+        _EVAL_RECALL.set(recall)
+        _EVAL_QPS.set(qps)
     return OperatingPoint(
         ef=ef,
         recall=recall,
         rderr=rderr,
-        qps=queries.shape[0] / max(elapsed, 1e-9),
+        qps=qps,
         ndc_per_query=ndc / queries.shape[0],
         elapsed_s=elapsed,
     )
@@ -323,6 +351,10 @@ def interleaved_workload(
     recall = float(recall_per_query(found_ids, gt_k.ids).mean())
     freezes = getattr(adjacency, "n_freezes", 0) - freezes0
     cuts = (manager.n_cuts - cuts0) if manager is not None else 0
+    if OBS.enabled:
+        _CHURN_SEARCH_SECONDS.inc(search_s)
+        _CHURN_MUTATION_SECONDS.inc(mutation_s)
+        _CHURN_MUTATIONS.inc(n_inserts + n_deletes)
     return ChurnReport(
         n_queries=queries.shape[0],
         n_inserts=n_inserts,

@@ -23,10 +23,38 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import time
 
 import numpy as np
 
 from repro.distances import DistanceComputer
+from repro.obs import OBS, SECONDS_BUCKETS
+
+_SEARCH_QUERIES = OBS.counter(
+    "search_queries", "sequential greedy searches served")
+_SEARCH_HOPS = OBS.histogram(
+    "search_hops", "hops per sequential greedy search")
+_SEARCH_NDC = OBS.histogram(
+    "search_ndc", "distance computations per sequential greedy search")
+_SEARCH_FRONTIER = OBS.histogram(
+    "search_frontier_peak", "peak candidate-pool size per sequential search")
+_SEARCH_SECONDS = OBS.histogram(
+    "search_seconds", "sequential search latency in seconds",
+    buckets=SECONDS_BUCKETS)
+_BATCH_BLOCKS = OBS.counter(
+    "batch_blocks", "lock-step engine blocks executed")
+_BATCH_QUERIES = OBS.counter(
+    "batch_queries", "queries served through the batch engine")
+_BATCH_OCCUPANCY = OBS.histogram(
+    "batch_block_occupancy", "queries per engine block",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
+_BATCH_ROUNDS = OBS.histogram(
+    "batch_block_rounds", "lock-step rounds per engine block")
+_BATCH_NDC = OBS.histogram(
+    "batch_block_ndc", "distance computations per engine block")
+_BATCH_SECONDS = OBS.histogram(
+    "batch_block_seconds", "engine block latency in seconds",
+    buckets=SECONDS_BUCKETS)
 
 
 class VisitedTable:
@@ -87,6 +115,7 @@ class SearchResult:
     n_hops: int = 0
     visited_ids: np.ndarray | None = None
     visited_distances: np.ndarray | None = None
+    frontier_peak: int = 0
 
 
 def greedy_search(
@@ -124,6 +153,10 @@ def greedy_search(
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    telemetry = OBS.enabled
+    if telemetry:
+        t0 = time.perf_counter()
+        ndc0 = dc.ndc
     ef = max(ef, k)
     q = query if prepared else dc.prepare_query(query)
     if visited is None:
@@ -152,7 +185,10 @@ def greedy_search(
         heapq.heappop(results)
 
     n_hops = 0
+    frontier_peak = len(candidates)
     while candidates:
+        if len(candidates) > frontier_peak:
+            frontier_peak = len(candidates)
         dist_u, u = heapq.heappop(candidates)
         if len(results) >= ef and dist_u > -results[0][0]:
             break
@@ -183,10 +219,17 @@ def greedy_search(
     ordered = sorted((-d, node) for d, node in results)[:k]
     ids = np.array([node for _, node in ordered], dtype=np.int64)
     distances = np.array([d for d, _ in ordered], dtype=np.float64)
-    result = SearchResult(ids=ids, distances=distances, n_hops=n_hops)
+    result = SearchResult(ids=ids, distances=distances, n_hops=n_hops,
+                          frontier_peak=frontier_peak)
     if collect_visited:
         result.visited_ids = np.concatenate(collect_i)
         result.visited_distances = np.concatenate(collect_d)
+    if telemetry:
+        _SEARCH_QUERIES.inc()
+        _SEARCH_HOPS.observe(n_hops)
+        _SEARCH_FRONTIER.observe(frontier_peak)
+        _SEARCH_NDC.observe(dc.ndc - ndc0)
+        _SEARCH_SECONDS.observe(time.perf_counter() - t0)
     return result
 
 
@@ -263,6 +306,10 @@ class BatchSearchEngine:
         dc = self.dc
         n = dc.size
         n_queries = block.shape[0]
+        telemetry = OBS.enabled
+        if telemetry:
+            t0 = time.perf_counter()
+            ndc0 = dc.ndc
         # Graph snapshot for this block, when the provider has one.  Must be
         # resolved *before* the excluded set: an epoch-pinning graph_fn (see
         # repro.serving.ServingSearcher) establishes the block's pinned view
@@ -412,7 +459,9 @@ class BatchSearchEngine:
         merge_and_admit(e_rows, e_nodes, e_dists)
 
         int64_max = np.iinfo(np.int64).max
+        rounds = 0
         while alive.shape[0]:
+            rounds += 1
             sel_cols = np.argmin(pool_d, axis=1)
             row_range = np.arange(alive.shape[0])
             best = pool_d[row_range, sel_cols]
@@ -463,6 +512,13 @@ class BatchSearchEngine:
                 np.float64, copy=False)
             merge_and_admit(fr_rows, fr_nodes, dists)
 
+        if telemetry:
+            _BATCH_BLOCKS.inc()
+            _BATCH_QUERIES.inc(n_queries)
+            _BATCH_OCCUPANCY.observe(n_queries)
+            _BATCH_ROUNDS.observe(rounds)
+            _BATCH_NDC.observe(dc.ndc - ndc0)
+            _BATCH_SECONDS.observe(time.perf_counter() - t0)
         return final  # type: ignore[return-value]
 
     @staticmethod

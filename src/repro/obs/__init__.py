@@ -1,0 +1,68 @@
+"""repro.obs — the observability layer: metrics registry + query traces.
+
+One process-wide :data:`OBS` registry (disabled by default — every
+instrument call is a single attribute check when off) and one
+:data:`TRACES` ring buffer.  The serving stack instruments itself against
+these module-level singletons; ``repro stats`` and the ``--telemetry`` CLI
+flag flip them on and expose Prometheus text / JSON snapshots.
+
+Typical use::
+
+    from repro import obs
+    obs.enable()
+    ...  # serve traffic
+    print(obs.OBS.prometheus_text())
+    print(obs.OBS.to_json(indent=2))
+    print(obs.TRACES.to_json(n=10))
+
+Metric catalog and trace schema: docs/observability.md.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import QueryTrace, TraceLog
+
+#: Process-wide registry every built-in instrumentation site reports to.
+OBS = MetricsRegistry(namespace="repro", enabled=False)
+
+#: Process-wide ring of recent per-query traces (bounded memory).
+TRACES = TraceLog(capacity=256)
+
+
+def enable() -> MetricsRegistry:
+    """Turn on metric collection (and trace recording) process-wide."""
+    return OBS.enable()
+
+
+def disable() -> MetricsRegistry:
+    """Turn collection off; the disabled hot path is a single attribute check."""
+    return OBS.disable()
+
+
+def reset() -> None:
+    """Zero all metric values and drop retained traces."""
+    OBS.reset()
+    TRACES.clear()
+
+
+__all__ = [
+    "OBS",
+    "TRACES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "TraceLog",
+    "DEFAULT_BUCKETS",
+    "SECONDS_BUCKETS",
+    "enable",
+    "disable",
+    "reset",
+]

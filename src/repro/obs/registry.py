@@ -1,0 +1,276 @@
+"""Thread-safe metrics primitives with a near-zero disabled fast path.
+
+The serving stack is instrumented unconditionally — every call site keeps
+its counter/histogram updates compiled in — so the cost model has to make
+the *disabled* path almost free: each instrument method loads one attribute
+(``registry.enabled``) and returns, taking no lock and allocating nothing.
+Enabled updates take the registry's single shared lock (updates are rare
+relative to the numpy work around them: once per search, per engine block,
+per repair, per merge).
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+- :class:`Counter` — monotone float/int total (``_total`` suffix on export).
+- :class:`Gauge` — a settable level, or (via
+  :meth:`MetricsRegistry.gauge_fn`) a callback evaluated at export time so
+  liveness/queue-depth/epoch-age style values are always current.
+  Re-registering a callback gauge under the same name replaces the callback
+  (the newest instance of a serving component wins).
+- :class:`Histogram` — bounded fixed buckets (cumulative ``le`` semantics on
+  export) plus ``_sum``/``_count``, so quantile-ish questions about hops,
+  NDC, pin lifetimes, and merge latency cost O(len(buckets)) memory forever.
+
+Exposition is dual: :meth:`MetricsRegistry.prometheus_text` emits the
+Prometheus text format (``# HELP``/``# TYPE`` + samples) and
+:meth:`MetricsRegistry.snapshot` returns a JSON-serializable dict.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import threading
+
+# Generic magnitude buckets: hops, NDC, queue depths, occupancies.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                   1000.0, 2500.0, 5000.0, 10000.0)
+# Latency buckets in seconds (100us .. 10s).
+SECONDS_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                   0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "help", "registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.value += n
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A level that can go up and down; optionally backed by a callback."""
+
+    __slots__ = ("name", "help", "registry", "value", "fn")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 fn=None):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.value = value
+
+    def inc(self, n=1) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.value += n
+
+    def dec(self, n=1) -> None:
+        self.inc(-n)
+
+    def read(self):
+        """Current value; callback gauges are evaluated on read."""
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                return math.nan  # a dead provider must not break exposition
+        return self.value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram (bounded memory, cumulative ``le`` on export)."""
+
+    __slots__ = ("name", "help", "registry", "buckets", "bucket_counts",
+                 "sum", "count")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 buckets=DEFAULT_BUCKETS):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        # One slot per finite bound plus the implicit +Inf overflow slot.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Named instruments + dual exposition, togglable at runtime.
+
+    Instruments are memoized by name: fetching ``registry.counter("x")``
+    twice returns the same object, and fetching an existing name as a
+    different kind raises.  ``reset()`` zeroes every value but keeps the
+    instrument objects, so module-level instrument handles stay valid across
+    test/benchmark arms.
+    """
+
+    def __init__(self, namespace: str = "repro", enabled: bool = False):
+        self.namespace = namespace
+        self.enabled = enabled
+        self._lock = threading.RLock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Zero all values (instrument handles remain valid)."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument._reset()
+
+    # -- instrument factories ----------------------------------------------
+
+    def _get(self, kind, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}")
+                return existing
+            instrument = kind(self, name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def gauge_fn(self, name: str, fn, help: str = "") -> Gauge:
+        """Callback-backed gauge; re-registration swaps in the new callback."""
+        gauge = self._get(Gauge, name, help, fn=fn)
+        gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    # -- exposition ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable {metric_name: value} view of every instrument."""
+        out: dict = {}
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            if isinstance(instrument, Counter):
+                out[instrument.name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                value = instrument.read()
+                out[instrument.name] = None if math.isnan(value) else value
+            else:
+                cumulative, running = [], 0
+                for count in instrument.bucket_counts:
+                    running += count
+                    cumulative.append(running)
+                out[instrument.name] = {
+                    "buckets": {
+                        **{_fmt(b): c for b, c in
+                           zip(instrument.buckets, cumulative)},
+                        "+Inf": running,
+                    },
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition format (one scrape's worth)."""
+        lines: list[str] = []
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            full = f"{self.namespace}_{instrument.name}"
+            help_text = instrument.help or instrument.name.replace("_", " ")
+            if isinstance(instrument, Counter):
+                lines.append(f"# HELP {full}_total {help_text}")
+                lines.append(f"# TYPE {full}_total counter")
+                lines.append(f"{full}_total {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# HELP {full} {help_text}")
+                lines.append(f"# TYPE {full} gauge")
+                lines.append(f"{full} {_fmt(instrument.read())}")
+            else:
+                lines.append(f"# HELP {full} {help_text}")
+                lines.append(f"# TYPE {full} histogram")
+                running = 0
+                for bound, count in zip(instrument.buckets,
+                                        instrument.bucket_counts):
+                    running += count
+                    lines.append(f'{full}_bucket{{le="{_fmt(bound)}"}} {running}')
+                running += instrument.bucket_counts[-1]
+                lines.append(f'{full}_bucket{{le="+Inf"}} {running}')
+                lines.append(f"{full}_sum {_fmt(instrument.sum)}")
+                lines.append(f"{full}_count {instrument.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    """Prometheus sample value: integers without a trailing .0."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)

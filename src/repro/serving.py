@@ -47,8 +47,35 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraphView
 from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable, greedy_search
+from repro.obs import OBS, SECONDS_BUCKETS, TRACES, QueryTrace
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+_PINS_TOTAL = OBS.counter(
+    "serving_pins", "epoch pins taken by searches")
+_PIN_SECONDS = OBS.histogram(
+    "serving_pin_seconds", "epoch pin lifetime in seconds",
+    buckets=SECONDS_BUCKETS)
+_SERVE_QUERIES = OBS.counter(
+    "serving_queries", "queries served through ServingSearcher.search")
+_OBSERVED = OBS.counter(
+    "maintenance_observed", "queries queued for online repair")
+_REPAIRS = OBS.counter(
+    "maintenance_repairs", "online NGFix/RFix repairs completed")
+_REPAIR_SECONDS = OBS.histogram(
+    "maintenance_repair_seconds", "one online repair's latency in seconds",
+    buckets=SECONDS_BUCKETS)
+_MERGES = OBS.counter(
+    "maintenance_merges", "epoch merges (overlay folded into a fresh cut)")
+_MERGE_SECONDS = OBS.histogram(
+    "maintenance_merge_seconds", "one epoch merge's latency in seconds",
+    buckets=SECONDS_BUCKETS)
+_QUEUE_DROPS = OBS.counter(
+    "maintenance_queue_dropped", "repair-queue entries dropped under pressure")
+_WORKER_ERRORS = OBS.counter(
+    "maintenance_worker_errors", "exceptions caught by the background worker")
+_BULK_ABORTS = OBS.counter(
+    "maintenance_bulk_aborts", "bulk rebuilds aborted by an exception")
 
 
 class DeltaOverlay:
@@ -213,19 +240,26 @@ class EpochPin:
     from ``__del__`` so a dropped pin never leaks the epoch's pin count.
     """
 
-    __slots__ = ("epoch", "view", "_manager", "_released")
+    __slots__ = ("epoch", "view", "created", "_manager", "_released")
 
     def __init__(self, manager: "EpochManager", epoch: GraphEpoch,
                  view: EpochView):
         self.epoch = epoch
         self.view = view
+        self.created = time.perf_counter()
         self._manager = manager
         self._released = False
+
+    def age(self) -> float:
+        """Seconds since this pin was taken."""
+        return time.perf_counter() - self.created
 
     def release(self) -> None:
         if not self._released:
             self._released = True
             self._manager._unpin(self.epoch.epoch_id)
+            if OBS.enabled:
+                _PIN_SECONDS.observe(time.perf_counter() - self.created)
 
     def __enter__(self) -> "EpochPin":
         return self
@@ -262,7 +296,25 @@ class EpochManager:
         self.current: GraphEpoch | None = None
         self.overlay: DeltaOverlay | None = None
         self._suspended = False
+        self._cut_time = time.monotonic()
         self.cut(entry)
+        # Callback gauges read live state at scrape time; re-registration by
+        # a newer manager instance replaces the callbacks (newest wins).
+        OBS.gauge_fn("epoch_id",
+                     lambda: self.current.epoch_id if self.current else -1,
+                     "current serving epoch id")
+        OBS.gauge_fn("epoch_age_seconds",
+                     lambda: time.monotonic() - self._cut_time,
+                     "seconds since the current epoch was cut")
+        OBS.gauge_fn("epoch_active_pins", self.active_pins,
+                     "pins currently held by in-flight searches")
+        OBS.gauge_fn("overlay_ops",
+                     lambda: self.overlay.n_ops if self.overlay else 0,
+                     "published mutations in the current overlay")
+        OBS.gauge_fn("overlay_nodes_touched",
+                     lambda: (self.overlay.touched_count()
+                              if self.overlay else 0),
+                     "distinct nodes with overlay deltas")
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -283,6 +335,7 @@ class EpochManager:
             epoch = GraphEpoch(self._epoch_counter, graph, entry, tombstones)
             self.current, self.overlay = epoch, overlay
             self._suspended = False
+            self._cut_time = time.monotonic()
         self.adjacency.attach_overlay(overlay)
         return epoch
 
@@ -291,11 +344,26 @@ class EpochManager:
 
         While suspended, pins keep returning the pre-suspension epoch plus
         the (now frozen) overlay — a consistent, slightly stale view.  Call
-        :meth:`cut` to resume with a fresh epoch reflecting the bulk work.
+        :meth:`cut` to resume with a fresh epoch reflecting the bulk work,
+        or :meth:`resume_overlay` to back out of an aborted bulk.
         """
         self.adjacency.detach_overlay()
         with self._lock:
             self._suspended = True
+
+    def resume_overlay(self) -> None:
+        """Re-attach the pre-suspension overlay without cutting (bulk abort).
+
+        The failure-path inverse of :meth:`suspend_overlay`: the current
+        (epoch, overlay) pair keeps serving exactly the pre-bulk state, and
+        subsequent mutations are logged again.  Mutations made *while*
+        suspended were never logged, so they stay invisible to pins until
+        the next cut folds the live graph into a fresh epoch.
+        """
+        with self._lock:
+            self._suspended = False
+        if self.overlay is not None:
+            self.adjacency.attach_overlay(self.overlay)
 
     # -- pinning ------------------------------------------------------------
 
@@ -306,6 +374,7 @@ class EpochManager:
             view = EpochView(epoch, overlay, overlay.seq)
             self._pin_counts[epoch.epoch_id] = \
                 self._pin_counts.get(epoch.epoch_id, 0) + 1
+        _PINS_TOTAL.inc()
         return EpochPin(self, epoch, view)
 
     def _unpin(self, epoch_id: int) -> None:
@@ -332,6 +401,7 @@ class EpochManager:
                                           if overlay is not None else 0),
                 "active_pins": sum(self._pin_counts.values()),
                 "suspended": self._suspended,
+                "epoch_age_seconds": time.monotonic() - self._cut_time,
             }
 
 
@@ -354,6 +424,9 @@ class ServingSearcher:
         self._engine: BatchSearchEngine | None = None
         self._engine_batch = batch_size
         self._block_pin: EpochPin | None = None
+        # Telemetry hook: the owning store points this at its scheduler's
+        # queue so per-query traces carry the repair backlog.
+        self.queue_depth_fn = None
 
     @property
     def dc(self):
@@ -366,13 +439,30 @@ class ServingSearcher:
             ef = max(k, 10)
         dc = self.dc
         q = dc.prepare_query(query)
+        telemetry = OBS.enabled
+        if telemetry:
+            t0 = time.perf_counter()
+            ndc0 = dc.ndc
         with self.manager.pin() as pin:
             view = pin.view
-            return greedy_search(
+            result = greedy_search(
                 dc, view, [pin.epoch.entry], q, k=k, ef=ef,
                 visited=self._visited, excluded=view.excluded(),
                 collect_visited=collect_visited, prepared=True,
             )
+            if telemetry:
+                _SERVE_QUERIES.inc()
+                TRACES.record(QueryTrace(
+                    k=k, ef=ef, n_hops=result.n_hops,
+                    ndc=dc.ndc - ndc0,
+                    frontier_peak=result.frontier_peak,
+                    epoch_id=pin.epoch.epoch_id, overlay_seq=view.seq,
+                    pin_seconds=pin.age(),
+                    elapsed_seconds=time.perf_counter() - t0,
+                    queue_depth=(self.queue_depth_fn()
+                                 if self.queue_depth_fn is not None else 0),
+                ))
+        return result
 
     # -- batched path -------------------------------------------------------
 
@@ -476,7 +566,19 @@ class MaintenanceScheduler:
         self.n_repairs = 0
         self.n_observed = 0
         self.n_dropped = 0
+        self.n_worker_errors = 0
+        self.n_bulk_aborts = 0
+        self.last_worker_error: str | None = None
         self.last_merge_seconds = 0.0
+        self._last_heartbeat = time.monotonic()
+        OBS.gauge_fn("maintenance_queue_depth", lambda: len(self._queue),
+                     "repair queries waiting in the scheduler queue")
+        OBS.gauge_fn("maintenance_worker_alive",
+                     lambda: float(self.worker_alive()),
+                     "1 when background maintenance can make progress")
+        OBS.gauge_fn("maintenance_worker_heartbeat_age_seconds",
+                     lambda: time.monotonic() - self._last_heartbeat,
+                     "seconds since the maintenance drain loop last ran")
 
     # -- write-side hooks ---------------------------------------------------
 
@@ -489,12 +591,14 @@ class MaintenanceScheduler:
         worker.
         """
         query = np.array(query, dtype=np.float32, copy=True)
+        _OBSERVED.inc()
         with self._idle:
             self._queue.append(query)
             self.n_observed += 1
             if len(self._queue) > self.queue_limit:
                 self._queue.popleft()
                 self.n_dropped += 1
+                _QUEUE_DROPS.inc()
         if self.mode == "inline":
             self.run_pending()
         else:
@@ -522,13 +626,17 @@ class MaintenanceScheduler:
         Returns counts of what was done.
         """
         repaired = 0
+        self._last_heartbeat = time.monotonic()
         with self.write_lock:
             while max_repairs is None or repaired < max_repairs:
                 with self._idle:
                     if not self._queue:
                         break
                     query = self._queue.popleft()
+                t0 = time.perf_counter()
                 self.fixer.fix_query(query)
+                _REPAIR_SECONDS.observe(time.perf_counter() - t0)
+                _REPAIRS.inc()
                 self.n_repairs += 1
                 repaired += 1
             merged = False
@@ -546,6 +654,8 @@ class MaintenanceScheduler:
             epoch = self.manager.cut(entry=self.fixer.entry)
             self.last_merge_seconds = time.perf_counter() - start
             self.n_merges += 1
+            _MERGES.inc()
+            _MERGE_SECONDS.observe(self.last_merge_seconds)
             return epoch
 
     def bulk(self):
@@ -603,9 +713,29 @@ class MaintenanceScheduler:
         while not self._stop.is_set():
             self._wake.wait(timeout=0.05)
             self._wake.clear()
+            self._last_heartbeat = time.monotonic()
             if self._stop.is_set():
                 break
-            self.run_pending()
+            try:
+                self.run_pending()
+            except Exception as exc:
+                # One poisoned repair (or a failing merge) must not silently
+                # kill background maintenance forever: count it, remember it
+                # for stats()/telemetry, and keep draining.  The query that
+                # raised was already popped, so the loop cannot wedge on it.
+                self.n_worker_errors += 1
+                self.last_worker_error = repr(exc)
+                _WORKER_ERRORS.inc()
+
+    def worker_alive(self) -> bool:
+        """Whether background maintenance can make progress.
+
+        Inline mode drains synchronously at call sites, so it is always
+        "alive"; thread mode requires a started, living worker thread.
+        """
+        if self.mode == "inline":
+            return True
+        return self._thread is not None and self._thread.is_alive()
 
     def stats(self) -> dict:
         with self._idle:
@@ -618,12 +748,28 @@ class MaintenanceScheduler:
             "dropped": self.n_dropped,
             "queued": queued,
             "last_merge_seconds": self.last_merge_seconds,
+            "worker_alive": self.worker_alive(),
+            "worker_errors": self.n_worker_errors,
+            "worker_last_error": self.last_worker_error,
+            "worker_heartbeat_age_seconds":
+                time.monotonic() - self._last_heartbeat,
+            "bulk_aborts": self.n_bulk_aborts,
             **{f"epoch_{k}": v for k, v in self.manager.stats().items()},
         }
 
 
 class _BulkContext:
-    """Write-locked overlay suspension around a bulk rebuild."""
+    """Write-locked overlay suspension around a bulk rebuild.
+
+    The success path cuts a fresh epoch on exit so the bulk result becomes
+    visible atomically.  The failure path must NOT cut: the bulk body died
+    partway, and publishing would hand every new pin a half-built graph.
+    Instead the pre-bulk (epoch, overlay) pair keeps serving, overlay
+    logging resumes for subsequent mutations, the abort is counted
+    (``n_bulk_aborts`` + the ``maintenance_bulk_aborts`` counter), and the
+    exception propagates.  The failed bulk's partial mutations stay
+    invisible until the next cut deliberately folds the live graph.
+    """
 
     def __init__(self, scheduler: MaintenanceScheduler):
         self._scheduler = scheduler
@@ -633,9 +779,17 @@ class _BulkContext:
         self._scheduler.manager.suspend_overlay()
         return self._scheduler
 
-    def __exit__(self, *exc):
+    def __exit__(self, exc_type, exc, tb):
+        scheduler = self._scheduler
         try:
-            self._scheduler.manager.cut(entry=self._scheduler.fixer.entry)
-            self._scheduler.n_merges += 1
+            if exc_type is None:
+                scheduler.manager.cut(entry=scheduler.fixer.entry)
+                scheduler.n_merges += 1
+                _MERGES.inc()
+            else:
+                scheduler.manager.resume_overlay()
+                scheduler.n_bulk_aborts += 1
+                _BULK_ABORTS.inc()
         finally:
-            self._scheduler.write_lock.release()
+            scheduler.write_lock.release()
+        return False  # propagate any exception from the bulk body

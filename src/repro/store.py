@@ -162,6 +162,12 @@ class VectorStore:
             self._fixer, self._manager, merge_every=self._merge_every,
             mode=self._scheduler_mode)
         self._maintainer.on_change = self._scheduler.note_mutations
+        scheduler = self._scheduler
+
+        def queue_depth() -> int:
+            return len(scheduler._queue)
+
+        self._searcher.queue_depth_fn = queue_depth
         if self._scheduler_mode == "thread":
             self._scheduler.start()
 
@@ -285,6 +291,17 @@ class VectorStore:
     def epochs(self) -> EpochManager | None:
         """The epoch manager (None before build / sans serving)."""
         return self._manager
+
+    @property
+    def searcher(self) -> ServingSearcher | None:
+        """The epoch-pinning searcher (None before build / sans serving).
+
+        Exposes the raw index protocol (``search`` returning
+        :class:`~repro.graphs.search.SearchResult`, ``search_batch``,
+        ``search_many``, ``dc``) for harnesses that compose the store with
+        evaluation or caching layers.
+        """
+        return self._searcher
 
     def stats(self) -> dict:
         if self._fixer is None:

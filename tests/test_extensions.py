@@ -142,6 +142,36 @@ class TestHashCache:
         with pytest.raises(ValueError):
             cache.put(np.zeros(2, dtype=np.float32), np.arange(3), np.arange(2.0))
 
+    def test_put_copies_caller_arrays(self):
+        """Regression: put() must copy — np.asarray aliases matching dtypes,
+        so a caller mutating its arrays in place corrupted cached answers."""
+        cache = HashTableCache()
+        q = np.ones(4, dtype=np.float32)
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        dists = np.array([0.1, 0.2, 0.3], dtype=np.float64)
+        cache.put(q, ids, dists)
+        ids[:] = -1
+        dists[:] = np.inf
+        hit = cache.get(q, k=3)
+        assert hit.ids.tolist() == [1, 2, 3]
+        assert hit.distances.tolist() == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_get_returns_copies(self):
+        cache = HashTableCache()
+        q = np.ones(4, dtype=np.float32)
+        cache.put(q, np.array([1, 2]), np.array([0.1, 0.2]))
+        cache.get(q, k=2).ids[:] = 99
+        assert cache.get(q, k=2).ids.tolist() == [1, 2]
+
+    def test_hit_ratio(self):
+        cache = HashTableCache()
+        assert cache.hit_ratio() == 0.0
+        q = np.ones(4, dtype=np.float32)
+        cache.put(q, np.array([1]), np.array([0.1]))
+        cache.get(q, k=1)
+        cache.get(np.zeros(4, dtype=np.float32), k=1)
+        assert cache.hit_ratio() == 0.5
+
     def test_drop_if_contains_evicts_only_stale_entries(self):
         cache = HashTableCache()
         q1, q2 = np.ones(4, dtype=np.float32), np.zeros(4, dtype=np.float32)
@@ -189,6 +219,67 @@ class TestCachedSearcher:
         again = searcher.search(query, k=5, ef=20)
         assert victim not in again.ids.tolist()
         assert len(searcher.cache) == 0  # stale entry was purged
+
+
+class TestCachedSearcherBatch:
+    """Regression: evaluation harnesses call search_batch/search_many, which
+    CachedSearcher used to lack — wrapping an index silently bypassed the
+    cache on every batched run."""
+
+    def test_batch_matches_sequential_per_query(self, tiny_ds, shared_hnsw,
+                                                tiny_train_gt):
+        searcher = CachedSearcher(shared_hnsw)
+        searcher.warm(tiny_ds.train_queries, tiny_train_gt.ids,
+                      tiny_train_gt.distances)
+        # Interleave warmed (hit) and unseen (miss) queries.
+        mixed = np.vstack([tiny_ds.train_queries[:3], tiny_ds.test_queries[:3],
+                           tiny_ds.train_queries[3:5]])
+        batch = searcher.search_batch(mixed, k=10, ef=30, batch_size=4)
+        for q, res in zip(mixed, batch):
+            direct = searcher.search(q, k=10, ef=30)
+            assert res.ids.tolist() == direct.ids.tolist()
+
+    def test_engine_runs_only_on_misses(self, tiny_ds, shared_hnsw,
+                                        tiny_train_gt):
+        searcher = CachedSearcher(shared_hnsw)
+        searcher.warm(tiny_ds.train_queries, tiny_train_gt.ids,
+                      tiny_train_gt.distances)
+        shared_hnsw.dc.reset_ndc()
+        searcher.search_batch(tiny_ds.train_queries[:8], k=10, ef=30)
+        assert shared_hnsw.dc.ndc == 0  # every row was a hit
+        assert searcher.cache.hits == 8
+
+    def test_search_many_shapes_and_padding(self, tiny_ds, shared_hnsw):
+        searcher = CachedSearcher(shared_hnsw)
+        ids, dists = searcher.search_many(tiny_ds.test_queries[:5], k=10,
+                                          ef=30, batch_size=4)
+        assert ids.shape == (5, 10) and dists.shape == (5, 10)
+        assert (ids >= 0).all()  # tiny graph still yields full top-10
+
+    def test_sequential_fallback_without_batch_engine(self, tiny_ds,
+                                                      shared_hnsw):
+        class NoBatch:
+            """Index protocol minus search_batch."""
+            def __init__(self, inner):
+                self._inner = inner
+                self.dc = inner.dc
+            def search(self, query, k, ef=None):
+                return self._inner.search(query, k=k, ef=ef)
+
+        searcher = CachedSearcher(NoBatch(shared_hnsw))
+        batch = searcher.search_batch(tiny_ds.test_queries[:4], k=5, ef=20)
+        for q, res in zip(tiny_ds.test_queries[:4], batch):
+            assert res.ids.tolist() == \
+                shared_hnsw.search(q, k=5, ef=20).ids.tolist()
+
+    def test_evaluate_index_accepts_cached_searcher(self, tiny_ds, shared_hnsw,
+                                                    tiny_gt):
+        from repro.evalx import evaluate_index
+        searcher = CachedSearcher(shared_hnsw)
+        point = evaluate_index(searcher, tiny_ds.test_queries, tiny_gt,
+                               k=10, ef=30, batch_size=8)
+        assert point.recall > 0.5
+        assert searcher.cache.misses == len(tiny_ds.test_queries)
 
 
 class TestAdaptiveSearcher:

@@ -11,6 +11,8 @@ The load-bearing guarantees under test:
   CSR; only scheduler merges do.
 """
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -308,3 +310,130 @@ class TestThreadScheduler:
     def test_invalid_merge_every_rejected(self):
         with pytest.raises(ValueError, match="merge_every"):
             MaintenanceScheduler(None, None, merge_every=0)
+
+
+class _PoisonOnce:
+    """Fixer proxy whose first fix_query raises, then delegates."""
+
+    def __init__(self, fixer):
+        self._fixer = fixer
+        self.raised = False
+
+    def __getattr__(self, name):
+        return getattr(self._fixer, name)
+
+    def fix_query(self, query):
+        if not self.raised:
+            self.raised = True
+            raise RuntimeError("poisoned repair")
+        return self._fixer.fix_query(query)
+
+
+def _wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.01)
+    return True
+
+
+class TestWorkerResilience:
+    """A poisoned repair must not silently kill background maintenance."""
+
+    @pytest.mark.timeout(60)
+    def test_worker_survives_poisoned_repair(self):
+        store = make_store(mode="thread")
+        scheduler = store.scheduler
+        try:
+            scheduler.fixer = _PoisonOnce(scheduler.fixer)
+            store.observe(QUERIES[0])
+            assert scheduler.flush(timeout=30)
+            assert _wait_for(lambda: scheduler.n_worker_errors == 1)
+            stats = scheduler.stats()
+            assert stats["worker_errors"] == 1
+            assert "poisoned repair" in stats["worker_last_error"]
+            assert stats["worker_alive"] is True
+            assert stats["worker_heartbeat_age_seconds"] < 30
+            # The worker keeps draining: the next repair goes through.
+            store.observe(QUERIES[1])
+            assert scheduler.flush(timeout=30)
+            assert _wait_for(lambda: scheduler.n_repairs == 1)
+            # Serving never blinked.
+            assert len(store.search(QUERIES[2], k=5, ef=30)) == 5
+        finally:
+            scheduler.stop()
+
+    def test_inline_mode_propagates_repair_error(self):
+        """Inline callers see the failure directly — no swallowing there."""
+        store = make_store(mode="inline")
+        store.scheduler.fixer = _PoisonOnce(store.scheduler.fixer)
+        with pytest.raises(RuntimeError, match="poisoned repair"):
+            store.observe(QUERIES[0])
+        assert store.scheduler.stats()["worker_alive"] is True
+
+    def test_worker_alive_false_after_stop(self):
+        store = make_store(mode="thread")
+        assert store.scheduler.worker_alive()
+        store.scheduler.stop()
+        assert not store.scheduler.worker_alive()
+
+
+class TestBulkAbortSafety:
+    """A failing bulk body must not publish a half-built graph."""
+
+    def test_exception_propagates_and_nothing_publishes(self):
+        store = make_store()
+        scheduler = store.scheduler
+        epoch_before = scheduler.manager.current.epoch_id
+        merges_before = scheduler.n_merges
+        before = [store.search(q, k=5, ef=30) for q in QUERIES[:3]]
+        with pytest.raises(RuntimeError, match="bulk body died"):
+            with scheduler.bulk():
+                raise RuntimeError("bulk body died")
+        assert scheduler.manager.current.epoch_id == epoch_before
+        assert scheduler.n_merges == merges_before
+        assert scheduler.n_bulk_aborts == 1
+        assert scheduler.stats()["bulk_aborts"] == 1
+        # The pre-bulk epoch keeps serving bit-identical results.
+        after = [store.search(q, k=5, ef=30) for q in QUERIES[:3]]
+        assert after == before
+
+    def test_partial_bulk_stays_invisible_until_next_cut(self):
+        store = make_store(merge_every=10_000)
+        scheduler = store.scheduler
+        with pytest.raises(RuntimeError, match="died midway"):
+            with scheduler.bulk():
+                self.partial_id = store.add(EXTRA[:1])[0]
+                raise RuntimeError("died midway")
+        # The insert landed in the live graph while logging was suspended,
+        # so serving (pre-bulk epoch + resumed overlay) must not see it...
+        ids = [i for i, _, _ in store.search(EXTRA[0], k=3, ef=40)]
+        assert self.partial_id not in ids
+        # ...until a deliberate cut folds the live graph in.
+        scheduler.merge_now()
+        res = store.search(EXTRA[0], k=1, ef=40)
+        assert res[0][0] == self.partial_id
+
+    def test_overlay_logging_resumes_after_abort(self):
+        store = make_store(merge_every=10_000)
+        scheduler = store.scheduler
+        with pytest.raises(RuntimeError):
+            with scheduler.bulk():
+                raise RuntimeError("boom")
+        # Post-abort mutations go through the re-attached overlay and are
+        # immediately visible — no epoch cut required.
+        epoch_before = scheduler.manager.current.epoch_id
+        new_id = store.add(EXTRA[1:2])[0]
+        res = store.search(EXTRA[1], k=1, ef=40)
+        assert res[0][0] == new_id
+        assert scheduler.manager.current.epoch_id == epoch_before
+
+    def test_success_path_still_cuts(self):
+        store = make_store()
+        scheduler = store.scheduler
+        epoch_before = scheduler.manager.current.epoch_id
+        with scheduler.bulk():
+            pass
+        assert scheduler.manager.current.epoch_id == epoch_before + 1
+        assert scheduler.n_bulk_aborts == 0
