@@ -69,6 +69,15 @@ from repro.serving import (
     ServingSearcher,
 )
 from repro.store import VectorStore
+from repro.durability import (
+    RecoveryError,
+    RecoveryReport,
+    SnapshotManager,
+    WriteAheadLog,
+    read_wal,
+    recover,
+)
+from repro.faults import FAULTS, FaultInjected, FaultPlan
 from repro.core import (
     escape_hardness,
     EscapeHardnessResult,
@@ -167,5 +176,14 @@ __all__ = [
     "EpochManager",
     "ServingSearcher",
     "MaintenanceScheduler",
+    "WriteAheadLog",
+    "read_wal",
+    "SnapshotManager",
+    "RecoveryReport",
+    "RecoveryError",
+    "recover",
+    "FAULTS",
+    "FaultPlan",
+    "FaultInjected",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli fix --dataset laion-sim --out /tmp/fixed.npz
     python -m repro.cli evaluate --dataset laion-sim --index-file /tmp/fixed.npz
     python -m repro.cli churn --dataset laion-sim --mutation-fraction 0.1
+    python -m repro.cli churn --dataset laion-sim --wal-dir /tmp/wal
+    python -m repro.cli recover /tmp/wal
     python -m repro.cli analyze --dataset laion-sim
     python -m repro.cli stats --dataset laion-sim --format both
 
@@ -88,6 +90,21 @@ def _build_parser() -> argparse.ArgumentParser:
                               "NGFix/RFix repair (0 = off)")
     p_churn.add_argument("--merge-every", type=int, default=256,
                          help="overlay ops per background epoch merge")
+    p_churn.add_argument("--wal-dir",
+                         help="journal mutations to a write-ahead log in this "
+                              "directory (must be fresh; restart with "
+                              "'repro recover')")
+    p_churn.add_argument("--sync-every", type=int, default=8,
+                         help="fsync the WAL every N records (1 = every "
+                              "record, 0 = never; requires --wal-dir)")
+
+    p_rec = sub.add_parser(
+        "recover", help="rebuild a store from its WAL directory and report")
+    p_rec.add_argument("wal_dir", help="durability directory (snapshots + WAL)")
+    p_rec.add_argument("--no-observes", action="store_true",
+                       help="skip replaying observe (online repair) records")
+    p_rec.add_argument("--json", action="store_true",
+                       help="emit the RecoveryReport as JSON")
 
     p_an = sub.add_parser("analyze", help="hardness diagnostics for a dataset")
     _add_common(p_an)
@@ -219,7 +236,8 @@ def _cmd_churn(args) -> int:
     ds = _load_dataset(args)
     store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
                         M=12, ef_construction=60, seed=args.seed,
-                        merge_every=args.merge_every)
+                        merge_every=args.merge_every,
+                        wal_dir=args.wal_dir, sync_every=args.sync_every)
     store.add(ds.base)
     store.build()
     store.fit_history(ds.train_queries)
@@ -244,7 +262,42 @@ def _cmd_churn(args) -> int:
           f"{report.n_observed} observed, {report.merges} epoch merges, "
           f"{report.repairs} online repairs")
     print(f"  query-path O(E) refreezes: {report.query_path_freezes}")
+    if store.wal is not None:
+        wal_stats = store.wal.stats()
+        print(f"  WAL: {wal_stats['records']} records, "
+              f"{wal_stats['fsyncs']} fsyncs, seq {wal_stats['seq']} "
+              f"(recover with: repro recover {args.wal_dir})")
+    store.close()
     return 0
+
+
+def _cmd_recover(args) -> int:
+    import json as _json
+
+    from repro.durability import RecoveryError, recover
+    try:
+        store, report = recover(args.wal_dir,
+                                replay_observes=not args.no_observes)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    store.close()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        snap = (f"snapshot {report.snapshot_id} @ seq {report.snapshot_wal_seq}"
+                if report.snapshot_id is not None else "no snapshot (WAL only)")
+        print(f"recovered {report.n_vectors} vectors "
+              f"({report.n_deleted} tombstoned) from {report.wal_dir}")
+        print(f"  base: {snap}; replayed {report.replayed} "
+              f"to terminal seq {report.terminal_seq}")
+        if report.truncated_bytes:
+            print(f"  torn tail: truncated {report.truncated_bytes} bytes")
+        print(f"  elapsed {report.elapsed_seconds:.3f}s; "
+              f"consistent: {report.consistent}")
+        for err in report.errors:
+            print(f"  INCONSISTENCY: {err}", file=sys.stderr)
+    return 0 if report.consistent else 1
 
 
 def _cmd_stats(args) -> int:
@@ -356,6 +409,7 @@ _COMMANDS = {
     "fix": _cmd_fix,
     "evaluate": _cmd_evaluate,
     "churn": _cmd_churn,
+    "recover": _cmd_recover,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,
     "explain": _cmd_explain,

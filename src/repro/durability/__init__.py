@@ -1,0 +1,32 @@
+"""repro.durability — crash-safe persistence for the serving layer.
+
+Three pieces, composed by :class:`~repro.store.VectorStore` when built with
+a ``wal_dir``:
+
+- :mod:`~repro.durability.wal` — an append-only, CRC-framed write-ahead log
+  of every acknowledged mutation (insert/delete/observe-repair/merge-cut),
+  with fsync batching and torn-tail truncation on open.
+- :mod:`~repro.durability.snapshot` — atomic full-index snapshots
+  (tmp-file + ``os.replace``, manifest-written-last commit protocol) that
+  bound WAL replay and let old segments be pruned.
+- :mod:`~repro.durability.recovery` — ``recover(wal_dir)``: load the newest
+  valid snapshot, replay the WAL tail, verify the terminal sequence number,
+  and hand back a serving-ready store plus a :class:`RecoveryReport`.
+
+Format, fsync policy, and recovery semantics: ``docs/durability.md``.
+"""
+
+from repro.durability.recovery import RecoveryError, RecoveryReport, recover
+from repro.durability.snapshot import SnapshotInfo, SnapshotManager
+from repro.durability.wal import WalRecord, WriteAheadLog, read_wal
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "read_wal",
+    "SnapshotManager",
+    "SnapshotInfo",
+    "RecoveryReport",
+    "RecoveryError",
+    "recover",
+]

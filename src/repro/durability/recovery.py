@@ -1,0 +1,314 @@
+"""Crash recovery: newest valid snapshot + WAL-tail replay.
+
+``recover(wal_dir)`` rebuilds a serving-ready
+:class:`~repro.store.VectorStore` from a durability directory:
+
+1. Load the newest *committed* snapshot (manifest present — torn snapshot
+   writes are invisible by construction).  Its manifest pins the WAL
+   sequence number it captures.
+2. Open the WAL (torn-tail truncation happens here) and replay every
+   record after that sequence number, in order: inserts re-enter the
+   graph, deletes re-tombstone (and re-trigger the same compactions),
+   observe records re-run the online NGFix/RFix repair that was
+   acknowledged before the crash, and merge-cut markers re-cut epochs so
+   the recovered store's serving cadence matches the original.
+3. Verify the terminal sequence number and structural invariants
+   (sequence continuity, vector-count accounting, every replayed delete
+   tombstoned or compacted) and surface the outcome as a
+   :class:`RecoveryReport`.
+
+Snapshots are loaded as :class:`ReplayableIndex` — a
+:class:`~repro.io.FrozenIndex` extended with single-layer greedy
+insertion — so a recovered store accepts new writes, unlike a plain
+``VectorStore.load()`` store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.durability.snapshot import SnapshotManager
+from repro.durability.wal import WriteAheadLog, read_wal
+from repro.graphs.base import medoid_id
+from repro.graphs.pruning import rng_prune_backfill
+from repro.graphs.search import greedy_search
+from repro.io import FrozenIndex, load_index
+from repro.obs import OBS, SECONDS_BUCKETS
+
+#: Written by VectorStore into its wal_dir so recovery can rebuild the
+#: store shell without the original constructor arguments.
+CONFIG_NAME = "store-config.json"
+
+_RECOVERIES = OBS.counter(
+    "recovery_runs", "recovery attempts")
+_RECOVERY_RECORDS = OBS.counter(
+    "recovery_replayed_records", "WAL records replayed during recovery")
+_RECOVERY_ERRORS = OBS.counter(
+    "recovery_inconsistencies", "consistency violations found by recovery")
+_RECOVERY_SECONDS = OBS.histogram(
+    "recovery_seconds", "one full recovery's latency in seconds",
+    buckets=SECONDS_BUCKETS)
+
+
+class RecoveryError(RuntimeError):
+    """Recovery cannot proceed (no snapshot and no replayable WAL)."""
+
+
+class ReplayableIndex(FrozenIndex):
+    """A loaded snapshot that supports incremental insertion.
+
+    ``FrozenIndex`` is searchable but rejects writes; WAL replay (and any
+    post-recovery traffic) needs ``insert``.  Insertion here is the
+    single-layer core of HNSW's algorithm: greedy-search the graph for
+    ``ef_construction`` candidates, RNG-prune (with nearest backfill) to
+    the degree budget, link both directions, and re-prune any reverse
+    neighbor that overflowed its budget past the shrink slack.
+    """
+
+    def __init__(self, data: np.ndarray, metric, entry: int, *,
+                 M: int = 16, ef_construction: int = 100):
+        super().__init__(data, metric, entry)
+        self.M0 = 2 * M
+        self.ef_construction = ef_construction
+        self._shrink_slack = 4
+        self._medoid: int | None = None
+
+    def insert(self, vector: np.ndarray) -> int:
+        new_id = self.dc.append(vector)
+        self.adjacency.grow(1)
+        self._visited.grow(self.dc.size)
+        self._medoid = None
+        q = self.dc.data[new_id]  # append already normalized (cosine)
+        result = greedy_search(
+            self.dc, self.adjacency.neighbors, [self.entry], q,
+            k=self.ef_construction, ef=self.ef_construction,
+            visited=self._visited, prepared=True,
+        )
+        keep = result.ids != new_id
+        cand_ids, cand_d = result.ids[keep], result.distances[keep]
+        selected = rng_prune_backfill(self.dc, new_id, cand_ids, self.M0,
+                                      distances=cand_d)
+        self.adjacency.set_base_neighbors(new_id, selected)
+        for v in selected:
+            self.adjacency.add_base_edge(v, new_id)
+            if self.adjacency.base_degree(v) > self.M0 + self._shrink_slack:
+                neigh = np.asarray(self.adjacency.base_neighbors_ro(v),
+                                   dtype=np.int64)
+                self.adjacency.set_base_neighbors(
+                    v, rng_prune_backfill(self.dc, v, neigh, self.M0))
+        return new_id
+
+    def medoid(self) -> int:
+        if self._medoid is None:
+            self._medoid = medoid_id(self.dc)
+        return self._medoid
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What a recovery did, and whether the result is consistent."""
+
+    wal_dir: str
+    snapshot_id: int | None
+    snapshot_wal_seq: int
+    terminal_seq: int
+    replayed: dict
+    truncated_bytes: int
+    n_vectors: int
+    n_deleted: int
+    elapsed_seconds: float
+    errors: list[str]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["consistent"] = self.consistent
+        return out
+
+
+def read_store_config(wal_dir: str | pathlib.Path) -> dict | None:
+    path = pathlib.Path(wal_dir) / CONFIG_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
+            serving: bool | None = None, scheduler_mode: str | None = None,
+            merge_every: int | None = None, sync_every: int | None = None,
+            replay_observes: bool = True, attach_wal: bool = True):
+    """Rebuild a store from ``wal_dir``; returns ``(store, report)``.
+
+    Keyword overrides default to the values recorded in the directory's
+    ``store-config.json`` (written at original construction).  With
+    ``attach_wal`` (default) the recovered store continues logging into
+    the same WAL, so it is immediately crash-safe again; pass False for a
+    read-mostly post-mortem load.
+
+    Raises :class:`RecoveryError` when the directory holds neither a
+    committed snapshot nor a replayable insert history.
+    """
+    from repro.store import VectorStore  # deferred: store imports wal/snapshot
+
+    t0 = time.perf_counter()
+    wal_dir = pathlib.Path(wal_dir)
+    config = read_store_config(wal_dir) or {}
+    if serving is None:
+        serving = bool(config.get("serving", True))
+    if scheduler_mode is None:
+        scheduler_mode = config.get("scheduler_mode", "inline")
+    if merge_every is None:
+        merge_every = int(config.get("merge_every", 256))
+    if sync_every is None:
+        sync_every = int(config.get("sync_every", 8))
+    M = int(config.get("M", 16))
+    ef_construction = int(config.get("ef_construction", 100))
+    seed = int(config.get("seed", 0))
+
+    snapshots = SnapshotManager(wal_dir)
+    info = snapshots.latest()
+    # Opening the log truncates any torn tail *before* replay reads it.
+    wal = WriteAheadLog(wal_dir, sync_every=sync_every)
+
+    if info is None and wal.n_records == 0:
+        wal.close()
+        raise RecoveryError(
+            f"{wal_dir} has no committed snapshot and no WAL records")
+
+    errors: list[str] = []
+    if info is not None:
+        dim = int(config.get("dim", 0))
+        metric = config.get("metric")
+        index = load_index(
+            info.path,
+            index_cls=lambda data, m, entry: ReplayableIndex(
+                data, m, entry, M=M, ef_construction=ef_construction))
+        store = VectorStore(
+            dim=dim or index.dc.dim, metric=metric or index.dc.metric,
+            M=M, ef_construction=ef_construction, fix_config=fix_config,
+            seed=seed, serving=serving, scheduler_mode=scheduler_mode,
+            merge_every=merge_every)
+        payloads = {}
+        if info.payloads_path.exists():
+            payloads = {int(k): v for k, v in json.loads(
+                info.payloads_path.read_text()).items()}
+        store._adopt_index(index, payloads)
+        snap_seq = info.wal_seq
+        base_n = info.n_vectors
+        if index.dc.size != base_n:
+            errors.append(
+                f"snapshot {info.snapshot_id} holds {index.dc.size} vectors, "
+                f"manifest says {base_n}")
+    else:
+        if "dim" not in config:
+            wal.close()
+            raise RecoveryError(
+                f"{wal_dir} has WAL records but no snapshot and no "
+                f"{CONFIG_NAME}; cannot rebuild the store shell")
+        store = VectorStore(
+            dim=int(config["dim"]), metric=config.get("metric", "cosine"),
+            M=M, ef_construction=ef_construction, fix_config=fix_config,
+            seed=seed, serving=serving, scheduler_mode=scheduler_mode,
+            merge_every=merge_every)
+        snap_seq = 0
+        base_n = 0
+
+    replayed = {"insert": 0, "delete": 0, "observe": 0, "merge_cut": 0,
+                "rows_inserted": 0}
+    deleted_replayed: set[int] = set()
+    last_seq = snap_seq
+    for record in read_wal(wal_dir, after_seq=snap_seq):
+        if record.seq != last_seq + 1:
+            errors.append(f"sequence gap: {last_seq} -> {record.seq}")
+        last_seq = record.seq
+        if record.op == "insert":
+            ids = store.add(record.vectors, payloads=record.payloads)
+            replayed["insert"] += 1
+            replayed["rows_inserted"] += len(ids)
+            if ids and ids[0] != record.first_id:
+                errors.append(
+                    f"seq {record.seq}: replayed insert got id {ids[0]}, "
+                    f"log recorded {record.first_id}")
+        else:
+            if not store.is_built:
+                store.build()
+            if record.op == "delete":
+                store.delete(record.ids)
+                deleted_replayed.update(int(i) for i in record.ids)
+                replayed["delete"] += 1
+            elif record.op == "observe":
+                if replay_observes:
+                    # Repair directly (bypassing admission control): the
+                    # record exists because this repair was acknowledged.
+                    scheduler = store.scheduler
+                    if scheduler is not None:
+                        with scheduler.write_lock:
+                            store._fixer.fix_query(record.query)
+                    else:
+                        store._fixer.fix_query(record.query)
+                replayed["observe"] += 1
+            else:  # merge_cut
+                if store.scheduler is not None:
+                    store.scheduler.merge_now()
+                replayed["merge_cut"] += 1
+    if not store.is_built:
+        if store._pending:
+            store.build()
+        else:
+            wal.close()
+            raise RecoveryError(
+                f"{wal_dir}: WAL holds no insert records and no snapshot "
+                "exists; nothing to recover")
+
+    # -- consistency checks -------------------------------------------------
+    if last_seq != wal.seq:
+        errors.append(
+            f"terminal seq mismatch: replayed through {last_seq}, "
+            f"log scan says {wal.seq}")
+    expected_n = base_n + replayed["rows_inserted"]
+    if store.dc.size != expected_n:
+        errors.append(
+            f"vector count {store.dc.size} != snapshot {base_n} + "
+            f"replayed {replayed['rows_inserted']}")
+    missing = deleted_replayed - store.deleted_ids
+    if missing:
+        errors.append(
+            f"{len(missing)} replayed deletes not tombstoned/compacted: "
+            f"{sorted(missing)[:8]}")
+    if store.epochs is not None and store.epochs.overlay is None:
+        errors.append("serving stack attached without an overlay")
+
+    if attach_wal:
+        store._attach_wal(wal, SnapshotManager(wal_dir))
+    else:
+        wal.close()
+
+    elapsed = time.perf_counter() - t0
+    if OBS.enabled:
+        _RECOVERIES.inc()
+        _RECOVERY_RECORDS.inc(sum(
+            replayed[op] for op in ("insert", "delete", "observe",
+                                    "merge_cut")))
+        _RECOVERY_ERRORS.inc(len(errors))
+        _RECOVERY_SECONDS.observe(elapsed)
+    report = RecoveryReport(
+        wal_dir=str(wal_dir),
+        snapshot_id=info.snapshot_id if info is not None else None,
+        snapshot_wal_seq=snap_seq,
+        terminal_seq=last_seq,
+        replayed=replayed,
+        truncated_bytes=wal.truncated_bytes,
+        n_vectors=store.dc.size,
+        n_deleted=len(store.deleted_ids),
+        elapsed_seconds=elapsed,
+        errors=errors,
+    )
+    return store, report

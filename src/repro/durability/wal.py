@@ -1,0 +1,371 @@
+"""Write-ahead log: append-only, CRC-framed, segment-rotated.
+
+Every acknowledged mutation of a durable :class:`~repro.store.VectorStore`
+lands here *before* the caller gets its result back, so recovery can replay
+exactly the acknowledged history on top of the newest snapshot.
+
+Record framing (all little-endian)::
+
+    frame   := header body
+    header  := u32 body_len, u32 crc32(body)
+    body    := u64 seq, u8 op, op-specific payload
+
+Ops:
+
+====  ===========  ====================================================
+ 1    INSERT       u32 n, u32 dim, u64 first_id, n*dim float32 rows,
+                   u32 payload_len, payload_len bytes of JSON (list of
+                   per-row payloads, or ``null``)
+ 2    DELETE       u32 n, n int64 ids
+ 3    OBSERVE      u32 dim, dim float32 (a repaired query, logged after
+                   the repair committed)
+ 4    MERGE_CUT    empty (an epoch merge point; replay re-cuts so the
+                   recovered store's epoch cadence matches the original)
+====  ===========  ====================================================
+
+Durability contract: every append is flushed to the OS (``file.flush``) —
+an acknowledged write survives *process* death unconditionally.  ``fsync``
+is batched every ``sync_every`` records (1 = every record, 0 = never), so
+the window lost to *power* failure is at most ``sync_every - 1``
+acknowledged records.  A torn final frame (crash mid-write) is detected by
+the length/CRC framing and truncated away on open; everything before it
+replays intact.
+
+The log is a directory of segments named ``wal-<first_seq>.log``.
+``rotate()`` (called by snapshotting) seals the active segment and opens a
+fresh one; ``prune(upto_seq)`` deletes sealed segments fully covered by a
+snapshot, keeping the log bounded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import struct
+import time
+import zlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.faults import FAULTS
+from repro.obs import OBS, SECONDS_BUCKETS
+
+_HEADER = struct.Struct("<II")
+_BODY_PREFIX = struct.Struct("<QB")
+_INSERT_HEAD = struct.Struct("<IIQ")
+_U32 = struct.Struct("<I")
+
+OP_INSERT = 1
+OP_DELETE = 2
+OP_OBSERVE = 3
+OP_MERGE_CUT = 4
+_OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete",
+             OP_OBSERVE: "observe", OP_MERGE_CUT: "merge_cut"}
+
+_WAL_APPENDS = OBS.counter(
+    "wal_appends", "records appended to the write-ahead log")
+_WAL_BYTES = OBS.counter(
+    "wal_bytes_written", "bytes appended to the write-ahead log")
+_WAL_FSYNCS = OBS.counter(
+    "wal_fsyncs", "fsync calls issued by the write-ahead log")
+_WAL_FSYNC_SECONDS = OBS.histogram(
+    "wal_fsync_seconds", "one WAL fsync's latency in seconds",
+    buckets=SECONDS_BUCKETS)
+_WAL_ROTATIONS = OBS.counter(
+    "wal_rotations", "WAL segment rotations")
+_WAL_TRUNCATED = OBS.counter(
+    "wal_truncated_bytes", "torn-tail bytes truncated on WAL open")
+
+
+@dataclasses.dataclass
+class WalRecord:
+    """One decoded WAL record."""
+
+    seq: int
+    op: str
+    first_id: int = -1
+    vectors: np.ndarray | None = None
+    payloads: list | None = None
+    ids: np.ndarray | None = None
+    query: np.ndarray | None = None
+
+
+def _encode_insert(seq: int, first_id: int, vectors: np.ndarray,
+                   payloads: Sequence | None) -> bytes:
+    rows = np.ascontiguousarray(vectors, dtype=np.float32)
+    blob = json.dumps(list(payloads) if payloads is not None else None)
+    blob = blob.encode("utf-8")
+    return (_BODY_PREFIX.pack(seq, OP_INSERT)
+            + _INSERT_HEAD.pack(rows.shape[0], rows.shape[1], first_id)
+            + rows.tobytes() + _U32.pack(len(blob)) + blob)
+
+
+def _encode_delete(seq: int, ids: np.ndarray) -> bytes:
+    arr = np.ascontiguousarray(ids, dtype=np.int64)
+    return (_BODY_PREFIX.pack(seq, OP_DELETE)
+            + _U32.pack(arr.shape[0]) + arr.tobytes())
+
+
+def _encode_observe(seq: int, query: np.ndarray) -> bytes:
+    q = np.ascontiguousarray(query, dtype=np.float32).ravel()
+    return (_BODY_PREFIX.pack(seq, OP_OBSERVE)
+            + _U32.pack(q.shape[0]) + q.tobytes())
+
+
+def _decode_body(body: bytes) -> WalRecord:
+    seq, op = _BODY_PREFIX.unpack_from(body, 0)
+    offset = _BODY_PREFIX.size
+    name = _OP_NAMES.get(op)
+    if name is None:
+        raise ValueError(f"unknown WAL op {op} at seq {seq}")
+    if op == OP_INSERT:
+        n, dim, first_id = _INSERT_HEAD.unpack_from(body, offset)
+        offset += _INSERT_HEAD.size
+        vectors = np.frombuffer(
+            body, dtype=np.float32, count=n * dim, offset=offset,
+        ).reshape(n, dim).copy()
+        offset += 4 * n * dim
+        (blob_len,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        payloads = json.loads(body[offset:offset + blob_len].decode("utf-8"))
+        return WalRecord(seq, name, first_id=first_id, vectors=vectors,
+                         payloads=payloads)
+    if op == OP_DELETE:
+        (n,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        ids = np.frombuffer(body, dtype=np.int64, count=n,
+                            offset=offset).copy()
+        return WalRecord(seq, name, ids=ids)
+    if op == OP_OBSERVE:
+        (dim,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        query = np.frombuffer(body, dtype=np.float32, count=dim,
+                              offset=offset).copy()
+        return WalRecord(seq, name, query=query)
+    return WalRecord(seq, name)
+
+
+def _segment_path(directory: pathlib.Path, first_seq: int) -> pathlib.Path:
+    return directory / f"wal-{first_seq:016d}.log"
+
+
+def _segments(directory: pathlib.Path) -> list[tuple[int, pathlib.Path]]:
+    """(first_seq, path) for every segment, ordered by first_seq."""
+    out = []
+    for path in directory.glob("wal-*.log"):
+        try:
+            out.append((int(path.stem.split("-", 1)[1]), path))
+        except ValueError:
+            continue
+    out.sort()
+    return out
+
+
+def _scan_segment(path: pathlib.Path, truncate: bool) -> tuple[int | None, int, int]:
+    """Walk one segment; returns (last_seq, n_records, torn_bytes).
+
+    A frame that is short, CRC-corrupt, or length-implausible marks the torn
+    tail: scanning stops at the last good frame and, when ``truncate`` is
+    set, the file is cut there so subsequent appends extend a clean log.
+    """
+    size = path.stat().st_size
+    last_seq: int | None = None
+    n_records = 0
+    good = 0
+    with open(path, "rb") as f:
+        while True:
+            header = f.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            body_len, crc = _HEADER.unpack(header)
+            if body_len < _BODY_PREFIX.size or good + _HEADER.size + body_len > size:
+                break
+            body = f.read(body_len)
+            if len(body) < body_len or zlib.crc32(body) != crc:
+                break
+            try:
+                seq, _op = _BODY_PREFIX.unpack_from(body, 0)
+            except struct.error:
+                break
+            last_seq = seq
+            n_records += 1
+            good += _HEADER.size + body_len
+    torn = size - good
+    if torn and truncate:
+        with open(path, "r+b") as f:
+            f.truncate(good)
+        if OBS.enabled:
+            _WAL_TRUNCATED.inc(torn)
+    return last_seq, n_records, torn
+
+
+def read_wal(directory: str | pathlib.Path,
+             after_seq: int = 0) -> Iterator[WalRecord]:
+    """Yield decoded records with ``seq > after_seq``, oldest first.
+
+    Read-only: a torn tail ends iteration without modifying the file
+    (use :class:`WriteAheadLog` to truncate it for appending).
+    """
+    directory = pathlib.Path(directory)
+    for _first, path in _segments(directory):
+        size = path.stat().st_size
+        good = 0
+        with open(path, "rb") as f:
+            while True:
+                header = f.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    break
+                body_len, crc = _HEADER.unpack(header)
+                if (body_len < _BODY_PREFIX.size
+                        or good + _HEADER.size + body_len > size):
+                    break
+                body = f.read(body_len)
+                if len(body) < body_len or zlib.crc32(body) != crc:
+                    break
+                good += _HEADER.size + body_len
+                record = _decode_body(body)
+                if record.seq > after_seq:
+                    yield record
+
+
+class WriteAheadLog:
+    """Append side of the log (one writer; reads go through :func:`read_wal`).
+
+    Opening an existing directory recovers the terminal sequence number by
+    scanning all segments and truncates any torn tail from the newest one,
+    so the first append after a crash continues the acknowledged history.
+    """
+
+    def __init__(self, directory: str | pathlib.Path, *, sync_every: int = 8):
+        if sync_every < 0:
+            raise ValueError(f"sync_every must be >= 0, got {sync_every}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_every = sync_every
+        self.seq = 0
+        self.n_records = 0
+        self.n_fsyncs = 0
+        self.truncated_bytes = 0
+        self._unsynced = 0
+        segments = _segments(self.directory)
+        for i, (first, path) in enumerate(segments):
+            last = i == len(segments) - 1
+            last_seq, n_records, torn = _scan_segment(path, truncate=last)
+            # An empty (or fully torn) segment still pins the sequence:
+            # its name says the previous segment ended at first - 1.
+            self.seq = max(self.seq, first - 1)
+            if last_seq is not None:
+                self.seq = max(self.seq, last_seq)
+            self.n_records += n_records
+            if last:
+                self.truncated_bytes = torn
+        if segments:
+            self._path = segments[-1][1]
+        else:
+            self._path = _segment_path(self.directory, 1)
+        self._f = open(self._path, "ab")
+
+    # -- appends -----------------------------------------------------------
+
+    def _append(self, body: bytes) -> int:
+        FAULTS.fire("wal.pre_append")
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        self._f.write(frame)
+        self._f.flush()  # into the OS: acknowledged writes survive a crash
+        self.n_records += 1
+        self._unsynced += 1
+        if OBS.enabled:
+            _WAL_APPENDS.inc()
+            _WAL_BYTES.inc(len(frame))
+        if self.sync_every and self._unsynced >= self.sync_every:
+            self.sync()
+        return self.seq
+
+    def log_insert(self, first_id: int, vectors: np.ndarray,
+                   payloads: Sequence | None = None) -> int:
+        """Log an acknowledged insert batch; returns its seq."""
+        self.seq += 1
+        return self._append(_encode_insert(self.seq, first_id, vectors,
+                                           payloads))
+
+    def log_delete(self, ids) -> int:
+        self.seq += 1
+        return self._append(_encode_delete(
+            self.seq, np.atleast_1d(np.asarray(ids, dtype=np.int64))))
+
+    def log_observe(self, query: np.ndarray) -> int:
+        self.seq += 1
+        return self._append(_encode_observe(self.seq, query))
+
+    def log_merge_cut(self) -> int:
+        self.seq += 1
+        return self._append(_BODY_PREFIX.pack(self.seq, OP_MERGE_CUT))
+
+    # -- durability boundary ------------------------------------------------
+
+    def sync(self) -> None:
+        """Force the unsynced tail to stable storage (fsync)."""
+        if self._f.closed:
+            return
+        self._f.flush()
+        FAULTS.fire("wal.pre_fsync")
+        t0 = time.perf_counter()
+        os.fsync(self._f.fileno())
+        self.n_fsyncs += 1
+        self._unsynced = 0
+        if OBS.enabled:
+            _WAL_FSYNCS.inc()
+            _WAL_FSYNC_SECONDS.observe(time.perf_counter() - t0)
+
+    # -- segment lifecycle --------------------------------------------------
+
+    def rotate(self) -> pathlib.Path:
+        """Seal the active segment and open a new one at ``seq + 1``."""
+        self.sync()
+        self._f.close()
+        self._path = _segment_path(self.directory, self.seq + 1)
+        self._f = open(self._path, "ab")
+        if OBS.enabled:
+            _WAL_ROTATIONS.inc()
+        return self._path
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete sealed segments whose records are all ``<= upto_seq``.
+
+        A segment is prunable when the *next* segment starts at or below
+        ``upto_seq + 1`` (so every record it holds is covered by the
+        snapshot at ``upto_seq``).  The active segment is never deleted.
+        Returns the number of segments removed.
+        """
+        segments = _segments(self.directory)
+        removed = 0
+        for (_first, path), (next_first, _next_path) in zip(
+                segments, segments[1:]):
+            if path == self._path:
+                break
+            if next_first <= upto_seq + 1:
+                path.unlink()
+                removed += 1
+            else:
+                break
+        return removed
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self.sync()
+            self._f.close()
+
+    def stats(self) -> dict:
+        return {
+            "seq": self.seq,
+            "records": self.n_records,
+            "fsyncs": self.n_fsyncs,
+            "sync_every": self.sync_every,
+            "unsynced": self._unsynced,
+            "segments": len(_segments(self.directory)),
+            "truncated_bytes": self.truncated_bytes,
+            "active_segment": self._path.name,
+        }

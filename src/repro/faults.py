@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the durability/serving stack.
+
+Production failure modes — a crash between a WAL append and its fsync, a
+torn snapshot rename, a worker dying mid-drain — are provoked here on
+purpose, deterministically, instead of being discovered in production.
+The design mirrors :mod:`repro.obs`: one process-wide registry
+(:data:`FAULTS`), disabled by default, whose call sites cost a single
+attribute check when off::
+
+    FAULTS.fire("wal.pre_fsync")      # no-op unless a plan is armed
+
+A test arms a seeded :class:`FaultPlan` that maps *injection points* to
+actions firing on the Nth hit::
+
+    plan = FaultPlan(seed=0).on("wal.pre_fsync", nth=3)          # raise
+    plan.on("scheduler.pre_merge", action="delay", delay_s=0.2)  # stall
+    plan.on("snapshot.pre_replace", action="kill")               # os._exit
+    with FAULTS.injected(plan):
+        ...  # the 3rd fsync raises FaultInjected, etc.
+
+Registered injection points (every site documents itself by calling
+:meth:`FaultRegistry.fire` with a stable name):
+
+========================  ====================================================
+``wal.pre_append``        before a WAL record is framed and written
+``wal.pre_fsync``         after the record is in the OS buffer, before fsync
+``snapshot.pre_replace``  snapshot bytes written, before ``os.replace``
+``snapshot.pre_manifest`` snapshot + payloads durable, before the manifest
+                          (the commit point) is published
+``scheduler.pre_merge``   inside ``merge_now`` before the epoch cut
+``worker.drain``          top of ``MaintenanceScheduler.run_pending``
+========================  ====================================================
+
+``action="kill"`` terminates the process with ``os._exit(137)`` — only
+meaningful from a sacrificial subprocess (the chaos suite uses it to prove
+recovery against real process death, not just exceptions).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+
+_ACTIONS = ("raise", "delay", "kill")
+
+#: Exit status used by ``action="kill"`` (mirrors SIGKILL's 128+9).
+KILL_EXIT_CODE = 137
+
+
+class FaultInjected(RuntimeError):
+    """Raised at an injection point by an armed ``action="raise"`` rule."""
+
+    def __init__(self, point: str, hit: int):
+        super().__init__(f"injected fault at {point!r} (hit #{hit})")
+        self.point = point
+        self.hit = hit
+
+
+class _FaultRule:
+    """One (point, action) binding with Nth-hit trigger semantics.
+
+    ``nth`` is 1-based: the rule triggers on the nth time its point fires
+    (and, with ``every=True``, on every subsequent hit).  ``probability``
+    makes triggering stochastic — but reproducibly so, drawn from the
+    plan's seeded RNG.
+    """
+
+    __slots__ = ("point", "action", "nth", "every", "delay_s", "exc",
+                 "probability", "hits", "fired")
+
+    def __init__(self, point: str, action: str, nth: int, every: bool,
+                 delay_s: float, exc: type[BaseException] | None,
+                 probability: float | None):
+        if action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {action!r}")
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        self.point = point
+        self.action = action
+        self.nth = nth
+        self.every = every
+        self.delay_s = delay_s
+        self.exc = exc
+        self.probability = probability
+        self.hits = 0
+        self.fired = 0
+
+    def should_trigger(self, rng: random.Random) -> bool:
+        self.hits += 1
+        if self.probability is not None:
+            return self.hits >= self.nth and rng.random() < self.probability
+        if self.every:
+            return self.hits >= self.nth
+        return self.hits == self.nth
+
+
+class FaultPlan:
+    """A seeded set of fault rules, armed via :meth:`FaultRegistry.arm`."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._rules: dict[str, list[_FaultRule]] = {}
+
+    def on(self, point: str, action: str = "raise", *, nth: int = 1,
+           every: bool = False, delay_s: float = 0.05,
+           exc: type[BaseException] | None = None,
+           probability: float | None = None) -> "FaultPlan":
+        """Bind an action to an injection point; chainable."""
+        rule = _FaultRule(point, action, nth, every, delay_s, exc, probability)
+        self._rules.setdefault(point, []).append(rule)
+        return self
+
+    def rules_for(self, point: str) -> list[_FaultRule]:
+        return self._rules.get(point, [])
+
+    def stats(self) -> dict:
+        """Per-point hit/fire counts (for asserting a plan actually ran)."""
+        return {
+            point: {"hits": sum(r.hits for r in rules),
+                    "fired": sum(r.fired for r in rules)}
+            for point, rules in self._rules.items()
+        }
+
+
+class FaultRegistry:
+    """Process-wide injection-point dispatcher.
+
+    Disabled (the default) it is inert: :meth:`fire` is a single attribute
+    check, so production call sites cost nothing measurable.  Armed with a
+    :class:`FaultPlan` it evaluates that plan's rules for the fired point
+    under a lock (hit counting must be atomic across threads — the worker
+    thread and the caller may race on the same point).
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._plan: FaultPlan | None = None
+        self._lock = threading.Lock()
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> "FaultRegistry":
+        with self._lock:
+            self._plan = plan
+            self.enabled = True
+        return self
+
+    def disarm(self) -> "FaultRegistry":
+        with self._lock:
+            self.enabled = False
+            self._plan = None
+        return self
+
+    @property
+    def plan(self) -> FaultPlan | None:
+        return self._plan
+
+    @contextmanager
+    def injected(self, plan: FaultPlan):
+        """Arm ``plan`` for the duration of a ``with`` block."""
+        self.arm(plan)
+        try:
+            yield plan
+        finally:
+            self.disarm()
+
+    # -- the hot path ------------------------------------------------------
+
+    def fire(self, point: str) -> None:
+        """Evaluate armed rules for ``point`` (no-op when disarmed).
+
+        Triggered rules act in registration order; a raising rule
+        propagates immediately (later rules for the same hit are skipped,
+        as they would be by the un-injected exception too).
+        """
+        if not self.enabled:
+            return
+        delay = 0.0
+        with self._lock:
+            plan = self._plan
+            if plan is None:
+                return
+            for rule in plan.rules_for(point):
+                if not rule.should_trigger(plan.rng):
+                    continue
+                rule.fired += 1
+                if rule.action == "raise":
+                    exc = rule.exc or FaultInjected
+                    if exc is FaultInjected:
+                        raise FaultInjected(point, rule.hits)
+                    raise exc(f"injected fault at {point!r}")
+                if rule.action == "kill":
+                    os._exit(KILL_EXIT_CODE)
+                delay += rule.delay_s
+        if delay:
+            time.sleep(delay)  # outside the lock: never stall other points
+
+
+#: The process-wide registry every durability/serving call site fires into.
+FAULTS = FaultRegistry()

@@ -107,7 +107,9 @@ class SearchResult:
     ``visited_ids``/``visited_distances`` are populated only when the search
     was asked to collect them (used by RFix's candidate expansion and by the
     approximate-NN preprocessing mode) and cover every node whose distance to
-    the query was computed.
+    the query was computed.  ``degraded`` is set when a deadline budget
+    expired before natural termination: the results are the best found so
+    far, not the full-effort answer.
     """
 
     ids: np.ndarray
@@ -116,6 +118,7 @@ class SearchResult:
     visited_ids: np.ndarray | None = None
     visited_distances: np.ndarray | None = None
     frontier_peak: int = 0
+    degraded: bool = False
 
 
 def greedy_search(
@@ -129,6 +132,7 @@ def greedy_search(
     excluded: set[int] | None = None,
     collect_visited: bool = False,
     prepared: bool = False,
+    deadline: float | None = None,
 ) -> SearchResult:
     """Beam search over a directed graph (paper Algorithm 1).
 
@@ -150,6 +154,10 @@ def greedy_search(
         Also return every (id, distance) pair evaluated.
     prepared:
         Set True when ``query`` already went through ``dc.prepare_query``.
+    deadline:
+        Absolute ``time.perf_counter()`` budget; when it passes, the search
+        stops expanding and returns best-so-far results flagged
+        ``degraded`` (graceful degradation under load).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -185,8 +193,12 @@ def greedy_search(
         heapq.heappop(results)
 
     n_hops = 0
+    degraded = False
     frontier_peak = len(candidates)
     while candidates:
+        if deadline is not None and time.perf_counter() > deadline:
+            degraded = True
+            break
         if len(candidates) > frontier_peak:
             frontier_peak = len(candidates)
         dist_u, u = heapq.heappop(candidates)
@@ -220,7 +232,7 @@ def greedy_search(
     ids = np.array([node for _, node in ordered], dtype=np.int64)
     distances = np.array([d for d, _ in ordered], dtype=np.float64)
     result = SearchResult(ids=ids, distances=distances, n_hops=n_hops,
-                          frontier_peak=frontier_peak)
+                          frontier_peak=frontier_peak, degraded=degraded)
     if collect_visited:
         result.visited_ids = np.concatenate(collect_i)
         result.visited_distances = np.concatenate(collect_d)
@@ -291,18 +303,25 @@ class BatchSearchEngine:
         self.batch_size = batch_size
         self._visited = VisitedTable(1)
 
-    def search_batch(self, queries: np.ndarray, k: int, ef: int) -> list[SearchResult]:
-        """Search all ``queries``; returns one :class:`SearchResult` per row."""
+    def search_batch(self, queries: np.ndarray, k: int, ef: int,
+                     deadline: float | None = None) -> list[SearchResult]:
+        """Search all ``queries``; returns one :class:`SearchResult` per row.
+
+        ``deadline`` (absolute ``time.perf_counter()``) applies to the whole
+        batch: blocks check it each lock-step round and finalize their
+        still-active rows best-so-far, flagged ``degraded``, once it passes.
+        """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         out: list[SearchResult] = []
         for start in range(0, queries.shape[0], self.batch_size):
             out.extend(self._search_block(queries[start:start + self.batch_size],
-                                          k, max(ef, k)))
+                                          k, max(ef, k), deadline))
         return out
 
-    def _search_block(self, block: np.ndarray, k: int, ef: int) -> list[SearchResult]:
+    def _search_block(self, block: np.ndarray, k: int, ef: int,
+                      deadline: float | None = None) -> list[SearchResult]:
         dc = self.dc
         n = dc.size
         n_queries = block.shape[0]
@@ -433,7 +452,7 @@ class BatchSearchEngine:
             pool_id[p_rows, cols] = p_nodes
             pool_fill[pu] += pc
 
-        def finish(rows):
+        def finish(rows, degraded: bool = False):
             """Finalize ``rows`` (current indices) and drop them from state."""
             nonlocal alive, res_d, res_id, pool_d, pool_id, pool_fill, hops
             for r in rows.tolist():
@@ -442,7 +461,7 @@ class BatchSearchEngine:
                 order = np.lexsort((ids_row, d))[:k]
                 final[int(alive[r])] = SearchResult(
                     ids=ids_row[order], distances=d[order],
-                    n_hops=int(hops[r]))
+                    n_hops=int(hops[r]), degraded=degraded)
             keep = np.ones(alive.shape[0], dtype=bool)
             keep[rows] = False
             alive, hops, pool_fill = alive[keep], hops[keep], pool_fill[keep]
@@ -461,6 +480,10 @@ class BatchSearchEngine:
         int64_max = np.iinfo(np.int64).max
         rounds = 0
         while alive.shape[0]:
+            if deadline is not None and time.perf_counter() > deadline:
+                # Budget spent: every still-active row returns best-so-far.
+                finish(np.arange(alive.shape[0]), degraded=True)
+                break
             rounds += 1
             sel_cols = np.argmin(pool_d, axis=1)
             row_range = np.arange(alive.shape[0])

@@ -14,11 +14,13 @@ required to insert new points into a frozen index.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
 
 from repro.distances import Metric
+from repro.faults import FAULTS
 from repro.graphs.base import GraphIndex
 
 _FORMAT_VERSION = 1
@@ -57,6 +59,10 @@ def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
     """Serialize a graph index (or an NGFixer wrapping one) to ``path``.
 
     Returns the written path (``.npz`` appended if missing).
+
+    The write is atomic: bytes go to a ``*.tmp`` sibling (fsynced) and the
+    final name appears only via ``os.replace``, so a crash mid-save can
+    never corrupt a previous good artifact at ``path``.
     """
     index = _resolve_target(obj)
     path = pathlib.Path(path)
@@ -82,29 +88,49 @@ def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
         "source_class": type(index).__name__,
         "entry": _entry_of(obj, index),
     }
-    np.savez_compressed(
-        path,
-        data=index.dc.data,
-        indptr=indptr,
-        indices=np.array(indices, dtype=np.int64),
-        extra_u=np.array(extra_u, dtype=np.int64),
-        extra_v=np.array(extra_v, dtype=np.int64),
-        extra_eh=np.array(extra_eh, dtype=np.float64),
-        tombstones=np.array(sorted(adjacency.tombstones), dtype=np.int64),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-    )
+    # Atomic publish: savez against an open handle (so numpy cannot append
+    # a second .npz suffix to the tmp name), fsync, then one os.replace.
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez_compressed(
+                f,
+                data=index.dc.data,
+                indptr=indptr,
+                indices=np.array(indices, dtype=np.int64),
+                extra_u=np.array(extra_u, dtype=np.int64),
+                extra_v=np.array(extra_v, dtype=np.int64),
+                extra_eh=np.array(extra_eh, dtype=np.float64),
+                tombstones=np.array(sorted(adjacency.tombstones),
+                                    dtype=np.int64),
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            )
+            f.flush()
+            os.fsync(f.fileno())
+        FAULTS.fire("snapshot.pre_replace")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
-def load_index(path: str | pathlib.Path) -> FrozenIndex:
-    """Reload a saved index as a searchable :class:`FrozenIndex`."""
+def load_index(path: str | pathlib.Path, index_cls=None) -> FrozenIndex:
+    """Reload a saved index as a searchable :class:`FrozenIndex`.
+
+    ``index_cls`` optionally substitutes the reconstructed class — any
+    ``(data, metric, entry)`` callable returning a :class:`FrozenIndex`
+    subclass (recovery uses this to load snapshots as a
+    :class:`~repro.durability.recovery.ReplayableIndex`).
+    """
     path = pathlib.Path(path)
+    if index_cls is None:
+        index_cls = FrozenIndex
     with np.load(path) as payload:
         meta = json.loads(bytes(payload["meta"]).decode())
         if meta.get("format_version") != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported index format {meta.get('format_version')!r}")
-        index = FrozenIndex(payload["data"], meta["metric"], meta["entry"])
+        index = index_cls(payload["data"], meta["metric"], meta["entry"])
         indptr = payload["indptr"]
         indices = payload["indices"]
         for u in range(indptr.shape[0] - 1):

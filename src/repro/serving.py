@@ -45,6 +45,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.faults import FAULTS
 from repro.graphs.csr import CSRGraphView
 from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable, greedy_search
 from repro.obs import OBS, SECONDS_BUCKETS, TRACES, QueryTrace
@@ -76,6 +77,16 @@ _WORKER_ERRORS = OBS.counter(
     "maintenance_worker_errors", "exceptions caught by the background worker")
 _BULK_ABORTS = OBS.counter(
     "maintenance_bulk_aborts", "bulk rebuilds aborted by an exception")
+_DEGRADED = OBS.counter(
+    "serving_degraded_searches",
+    "searches that returned best-so-far after a deadline budget expired")
+_OBSERVE_SHED = OBS.counter(
+    "maintenance_observe_shed",
+    "observe() calls shed by admission control (queue saturated/worker dead)")
+_FLUSH_TIMEOUTS = OBS.counter(
+    "maintenance_flush_timeouts", "flush() calls that timed out undrained")
+_FAILED_JOINS = OBS.counter(
+    "maintenance_failed_joins", "stop() join timeouts (worker kept running)")
 
 
 class DeltaOverlay:
@@ -424,6 +435,7 @@ class ServingSearcher:
         self._engine: BatchSearchEngine | None = None
         self._engine_batch = batch_size
         self._block_pin: EpochPin | None = None
+        self.n_degraded = 0
         # Telemetry hook: the owning store points this at its scheduler's
         # queue so per-query traces carry the repair backlog.
         self.queue_depth_fn = None
@@ -433,10 +445,20 @@ class ServingSearcher:
         return self.fixer.dc
 
     def search(self, query: np.ndarray, k: int, ef: int | None = None,
-               collect_visited: bool = False) -> SearchResult:
-        """Top-k search against a pinned epoch view."""
+               collect_visited: bool = False,
+               deadline_ms: float | None = None) -> SearchResult:
+        """Top-k search against a pinned epoch view.
+
+        ``deadline_ms`` caps the search's latency budget: past it the
+        search stops expanding and returns best-so-far results with
+        ``SearchResult.degraded`` set (and the
+        ``serving_degraded_searches`` counter bumped) instead of blocking
+        the caller — graceful degradation, never an error.
+        """
         if ef is None:
             ef = max(k, 10)
+        deadline = (None if deadline_ms is None
+                    else time.perf_counter() + deadline_ms / 1000.0)
         dc = self.dc
         q = dc.prepare_query(query)
         telemetry = OBS.enabled
@@ -449,7 +471,11 @@ class ServingSearcher:
                 dc, view, [pin.epoch.entry], q, k=k, ef=ef,
                 visited=self._visited, excluded=view.excluded(),
                 collect_visited=collect_visited, prepared=True,
+                deadline=deadline,
             )
+            if result.degraded:
+                self.n_degraded += 1
+                _DEGRADED.inc()
             if telemetry:
                 _SERVE_QUERIES.inc()
                 TRACES.record(QueryTrace(
@@ -477,11 +503,18 @@ class ServingSearcher:
         return self._block_pin.view.excluded()
 
     def search_batch(self, queries: np.ndarray, k: int,
-                     ef: int | None = None,
-                     batch_size: int = 32) -> list[SearchResult]:
-        """Batched pinned search; each engine block sees one epoch view."""
+                     ef: int | None = None, batch_size: int = 32,
+                     deadline_ms: float | None = None) -> list[SearchResult]:
+        """Batched pinned search; each engine block sees one epoch view.
+
+        ``deadline_ms`` budgets the whole batch: the engine checks it once
+        per lock-step round and finalizes still-active queries best-so-far
+        (flagged ``degraded``) when it expires.
+        """
         if ef is None:
             ef = max(k, 10)
+        deadline = (None if deadline_ms is None
+                    else time.perf_counter() + deadline_ms / 1000.0)
         engine = self._engine
         if engine is None or engine.batch_size != batch_size:
             engine = BatchSearchEngine(
@@ -495,7 +528,13 @@ class ServingSearcher:
             )
             self._engine = engine
         try:
-            return engine.search_batch(queries, k, ef)
+            results = engine.search_batch(queries, k, ef, deadline=deadline)
+            if deadline is not None:
+                n_degraded = sum(1 for r in results if r.degraded)
+                if n_degraded:
+                    self.n_degraded += n_degraded
+                    _DEGRADED.inc(n_degraded)
+            return results
         finally:
             if self._block_pin is not None:
                 self._block_pin.release()
@@ -566,9 +605,15 @@ class MaintenanceScheduler:
         self.n_repairs = 0
         self.n_observed = 0
         self.n_dropped = 0
+        self.n_shed = 0
         self.n_worker_errors = 0
         self.n_bulk_aborts = 0
+        self.n_flush_timeouts = 0
+        self.n_failed_joins = 0
         self.last_worker_error: str | None = None
+        # Durability hook: the owning store points this at its write-ahead
+        # log so repair/merge commits are journaled (see repro.durability).
+        self.wal = None
         self.last_merge_seconds = 0.0
         self._last_heartbeat = time.monotonic()
         OBS.gauge_fn("maintenance_queue_depth", lambda: len(self._queue),
@@ -582,14 +627,23 @@ class MaintenanceScheduler:
 
     # -- write-side hooks ---------------------------------------------------
 
-    def observe(self, query: np.ndarray) -> None:
+    def observe(self, query: np.ndarray) -> bool:
         """Queue one served query for online NGFix/RFix repair.
 
-        The queue is bounded: under sustained pressure the *oldest* queued
-        query is dropped (the most recent traffic best reflects the current
-        workload).  Inline mode drains immediately; thread mode wakes the
-        worker.
+        Admission control: repair is best-effort quality improvement, so
+        when the system cannot keep up — the queue is saturated or the
+        background worker is dead — the call is *shed* (returns False,
+        ``maintenance_observe_shed`` counted) rather than queued into a
+        backlog nobody will drain.  Searches are never shed; only repair
+        feedback is.  Under milder pressure the bounded queue still drops
+        the *oldest* entry (the most recent traffic best reflects the
+        current workload).  Inline mode drains immediately; thread mode
+        wakes the worker.  Returns True when the query was accepted.
         """
+        if self._should_shed():
+            self.n_shed += 1
+            _OBSERVE_SHED.inc()
+            return False
         query = np.array(query, dtype=np.float32, copy=True)
         _OBSERVED.inc()
         with self._idle:
@@ -603,6 +657,13 @@ class MaintenanceScheduler:
             self.run_pending()
         else:
             self._wake.set()
+        return True
+
+    def _should_shed(self) -> bool:
+        """Whether to refuse new repair work (saturated queue / dead worker)."""
+        if self.mode == "thread" and not self.worker_alive():
+            return True
+        return len(self._queue) >= self.queue_limit
 
     def note_mutations(self) -> None:
         """Signal that graph mutations landed (insert/delete paths call this)."""
@@ -627,6 +688,7 @@ class MaintenanceScheduler:
         """
         repaired = 0
         self._last_heartbeat = time.monotonic()
+        FAULTS.fire("worker.drain")
         with self.write_lock:
             while max_repairs is None or repaired < max_repairs:
                 with self._idle:
@@ -635,6 +697,10 @@ class MaintenanceScheduler:
                     query = self._queue.popleft()
                 t0 = time.perf_counter()
                 self.fixer.fix_query(query)
+                # Journal the repair only after it committed to the graph:
+                # replay re-runs exactly the repairs that actually landed.
+                if self.wal is not None:
+                    self.wal.log_observe(query)
                 _REPAIR_SECONDS.observe(time.perf_counter() - t0)
                 _REPAIRS.inc()
                 self.n_repairs += 1
@@ -650,8 +716,11 @@ class MaintenanceScheduler:
     def merge_now(self) -> GraphEpoch:
         """Cut a fresh epoch from the live graph (O(E), off the query path)."""
         with self.write_lock:
+            FAULTS.fire("scheduler.pre_merge")
             start = time.perf_counter()
             epoch = self.manager.cut(entry=self.fixer.entry)
+            if self.wal is not None:
+                self.wal.log_merge_cut()
             self.last_merge_seconds = time.perf_counter() - start
             self.n_merges += 1
             _MERGES.inc()
@@ -680,13 +749,29 @@ class MaintenanceScheduler:
             self._thread.start()
         return self
 
-    def stop(self, timeout: float | None = 5.0) -> None:
-        """Stop the background worker, draining nothing further."""
+    def stop(self, timeout: float | None = 5.0) -> bool:
+        """Stop the background worker, draining nothing further.
+
+        Returns True once the worker has actually exited.  On join timeout
+        the thread handle is deliberately *kept*: the worker may still be
+        running, so dropping the handle would make ``worker_alive()``
+        report a live worker as dead and let a second ``start()`` spawn a
+        duplicate.  The failed join is counted
+        (``maintenance_failed_joins``); calling ``stop()`` again retries
+        the join.
+        """
         self._stop.set()
         self._wake.set()
-        if self._thread is not None:
-            self._thread.join(timeout)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        if thread.is_alive():
+            self.n_failed_joins += 1
+            _FAILED_JOINS.inc()
+            return False
+        self._thread = None
+        return True
 
     def flush(self, timeout: float | None = 10.0) -> bool:
         """Block until the repair queue is empty and no merge is due.
@@ -703,6 +788,8 @@ class MaintenanceScheduler:
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
+                    self.n_flush_timeouts += 1
+                    _FLUSH_TIMEOUTS.inc()
                     return False
                 self._idle.wait(0.05 if remaining is None
                                 else min(0.05, remaining))
@@ -746,7 +833,10 @@ class MaintenanceScheduler:
             "repairs": self.n_repairs,
             "observed": self.n_observed,
             "dropped": self.n_dropped,
+            "shed": self.n_shed,
             "queued": queued,
+            "flush_timeouts": self.n_flush_timeouts,
+            "failed_joins": self.n_failed_joins,
             "last_merge_seconds": self.last_merge_seconds,
             "worker_alive": self.worker_alive(),
             "worker_errors": self.n_worker_errors,

@@ -24,10 +24,16 @@ import numpy as np
 from repro.core.fixer import FixConfig, NGFixer
 from repro.core.maintenance import IndexMaintainer
 from repro.distances import Metric
+from repro.durability.snapshot import SnapshotInfo, SnapshotManager, atomic_write_text
+from repro.durability.wal import WriteAheadLog
 from repro.graphs.hnsw import HNSW
 from repro.io import load_index, save_index
 from repro.serving import EpochManager, MaintenanceScheduler, ServingSearcher
 from repro.utils.validation import check_positive
+
+#: Constructor parameters persisted into the wal_dir so
+#: :func:`repro.durability.recover` can rebuild the store shell.
+_CONFIG_NAME = "store-config.json"
 
 
 class VectorStore:
@@ -58,13 +64,31 @@ class VectorStore:
         the draining).
     merge_every:
         Overlay mutation count that triggers merging into a fresh epoch.
+    wal_dir:
+        When set, the store is *durable*: every acknowledged
+        insert/delete — plus scheduler repair and merge commits — is
+        journaled to a write-ahead log in this directory before the call
+        returns, and :meth:`checkpoint` writes atomic snapshots there.
+        After a crash, :func:`repro.durability.recover` rebuilds the store
+        from snapshot + WAL tail.  The directory must be fresh (or fully
+        checkpointed-and-pruned); reopening one with history raises —
+        recovery, not blind appending, is the restart path.
+    sync_every:
+        WAL fsync batching: fsync once per this many records (1 = every
+        record, 0 = rely on OS flush only).  See docs/durability.md for
+        the durability window each setting buys.
+    checkpoint_every:
+        Automatic checkpoint cadence in WAL records (0 = manual
+        :meth:`checkpoint` only).
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
                  M: int = 16, ef_construction: int = 100,
                  fix_config: FixConfig | None = None, seed: int = 0,
                  serving: bool = True, scheduler_mode: str = "inline",
-                 merge_every: int = 256):
+                 merge_every: int = 256,
+                 wal_dir: str | pathlib.Path | None = None,
+                 sync_every: int = 8, checkpoint_every: int = 0):
         check_positive(dim, "dim")
         self.dim = dim
         self.metric = Metric.parse(metric)
@@ -82,6 +106,36 @@ class VectorStore:
         self._manager: EpochManager | None = None
         self._searcher: ServingSearcher | None = None
         self._scheduler: MaintenanceScheduler | None = None
+        self._wal: WriteAheadLog | None = None
+        self._snapshots: SnapshotManager | None = None
+        self._checkpoint_every = checkpoint_every
+        self._last_checkpoint_seq = 0
+        if wal_dir is not None:
+            self._init_durability(pathlib.Path(wal_dir), sync_every,
+                                  M, ef_construction, seed)
+
+    def _init_durability(self, wal_dir: pathlib.Path, sync_every: int,
+                         M: int, ef_construction: int, seed: int) -> None:
+        wal_dir.mkdir(parents=True, exist_ok=True)
+        has_history = (
+            any(p.stat().st_size > 0 for p in wal_dir.glob("wal-*.log"))
+            or any(wal_dir.glob("snapshot-*.manifest.json")))
+        if has_history:
+            raise RuntimeError(
+                f"{wal_dir} already holds WAL records or snapshots; "
+                "restart through repro.durability.recover() instead of "
+                "constructing a fresh store over existing history")
+        atomic_write_text(wal_dir / _CONFIG_NAME, json.dumps({
+            "dim": self.dim, "metric": self.metric.value,
+            "M": M, "ef_construction": ef_construction, "seed": seed,
+            "serving": self._serving_enabled,
+            "scheduler_mode": self._scheduler_mode,
+            "merge_every": self._merge_every,
+            "sync_every": sync_every,
+            "checkpoint_every": self._checkpoint_every,
+        }))
+        self._wal = WriteAheadLog(wal_dir, sync_every=sync_every)
+        self._snapshots = SnapshotManager(wal_dir)
 
     # -- ingestion ----------------------------------------------------------
 
@@ -112,13 +166,28 @@ class VectorStore:
         """Add vectors (with optional per-vector payloads); returns ids.
 
         Before the first build, vectors accumulate and are indexed together;
-        afterwards each goes through HNSW's incremental insertion.
+        afterwards each goes through HNSW's incremental insertion.  Stores
+        reloaded with :meth:`load` cannot insert (their graph is frozen —
+        see the :meth:`load` docstring); stores rebuilt by
+        :func:`repro.durability.recover` can.
+
+        With a ``wal_dir``, the batch is journaled before this returns:
+        an id you received back is an *acknowledged* write and survives a
+        crash (WAL payloads must be JSON-serializable).
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if vectors.shape[1] != self.dim:
             raise ValueError(f"expected dimension {self.dim}, got {vectors.shape[1]}")
         if payloads is not None and len(payloads) != vectors.shape[0]:
             raise ValueError("payloads length must match vectors")
+        if (self._fixer is not None
+                and not hasattr(self._fixer.index, "insert")):
+            raise RuntimeError(
+                f"this store serves a frozen {type(self._fixer.index).__name__} "
+                "(VectorStore.load() artifact) without HNSW builder state, so "
+                "add() is unavailable; rebuild from vectors, or restore "
+                "through repro.durability.recover() which loads snapshots "
+                "insert-capable")
 
         if self._fixer is None:
             first_id = sum(v.shape[0] for v in self._pending)
@@ -132,6 +201,9 @@ class VectorStore:
         if payloads is not None:
             for i, payload in zip(ids, payloads):
                 self._payloads[i] = payload
+        if self._wal is not None:
+            self._wal.log_insert(ids[0] if ids else 0, vectors, payloads)
+            self._maybe_checkpoint()
         return ids
 
     def build(self) -> "VectorStore":
@@ -168,6 +240,7 @@ class VectorStore:
             return len(scheduler._queue)
 
         self._searcher.queue_depth_fn = queue_depth
+        self._scheduler.wal = self._wal
         if self._scheduler_mode == "thread":
             self._scheduler.start()
 
@@ -192,38 +265,61 @@ class VectorStore:
             self._fixer.fit(queries)
         return self._fixer.stats()
 
-    def observe(self, query: np.ndarray) -> None:
+    def observe(self, query: np.ndarray) -> bool:
         """Feed one served query back into online fixing.
 
         Under serving this enqueues the query with the maintenance
         scheduler, which repairs it with the full NGFix/RFix pass off the
         query path (synchronously in "inline" mode, on the background
         worker in "thread" mode).  Without serving it repairs immediately.
+
+        Returns True when the query was accepted; False when admission
+        control shed it (repair queue saturated or worker dead — repair
+        feedback is best-effort, searches are never shed).
         """
         if self._fixer is None:
             raise RuntimeError("build() before observe()")
+        query = np.asarray(query, dtype=np.float32)
         if self._scheduler is not None:
-            self._scheduler.observe(np.asarray(query, dtype=np.float32))
-        else:
-            self._fixer.fix_query(np.asarray(query, dtype=np.float32))
+            return self._scheduler.observe(query)
+        self._fixer.fix_query(query)
+        if self._wal is not None:
+            self._wal.log_observe(query)
+        return True
 
     # -- serving ------------------------------------------------------------
 
     def search(self, query: np.ndarray, k: int = 10, ef: int | None = None,
-               where=None) -> list[tuple[int, float, Any]]:
+               where=None,
+               deadline_ms: float | None = None) -> list[tuple[int, float, Any]]:
         """Top-k as (id, distance, payload) triples.
 
         ``where`` optionally filters by payload predicate
         (``payload -> bool``); filtered search over-fetches 4x (doubling up
         to 16x) and post-filters, the standard small-scale strategy, so very
         selective predicates may return fewer than k hits.
+
+        ``deadline_ms`` bounds the search's latency budget (serving layer
+        only): an expired budget returns best-so-far results instead of
+        blocking — see :meth:`ServingSearcher.search
+        <repro.serving.ServingSearcher.search>`.  Not combinable with
+        ``where`` (filtered search re-queries, so one budget does not map
+        onto it).
         """
         if self._fixer is None:
             self.build()
         query = np.asarray(query, dtype=np.float32)
         searcher = self._searcher if self._searcher is not None else self._fixer
+        extra = {}
+        if deadline_ms is not None:
+            if where is not None:
+                raise ValueError("deadline_ms cannot be combined with where=")
+            if searcher is not self._searcher:
+                raise RuntimeError(
+                    "deadline_ms requires the serving layer (serving=True)")
+            extra["deadline_ms"] = deadline_ms
         if where is None:
-            result = searcher.search(query, k=k, ef=ef)
+            result = searcher.search(query, k=k, ef=ef, **extra)
             return [(int(i), float(d), self._payloads.get(int(i)))
                     for i, d in zip(result.ids, result.distances)]
 
@@ -239,17 +335,28 @@ class VectorStore:
             fetch *= 2
 
     def search_batch(self, queries: np.ndarray, k: int = 10,
-                     ef: int | None = None, batch_size: int = 32):
+                     ef: int | None = None, batch_size: int = 32,
+                     deadline_ms: float | None = None):
         """Batched top-k over many queries; one epoch pin per engine block.
 
         Returns a list of :class:`~repro.graphs.search.SearchResult` (no
         payload join — use :meth:`get_payload` for that), taking the batched
         lock-step engine which is the throughput-optimal path.
+        ``deadline_ms`` budgets the whole batch (serving layer only);
+        results past the budget come back best-so-far with ``degraded``
+        set.
         """
         if self._fixer is None:
             self.build()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         searcher = self._searcher if self._searcher is not None else self._fixer
+        if deadline_ms is not None:
+            if searcher is not self._searcher:
+                raise RuntimeError(
+                    "deadline_ms requires the serving layer (serving=True)")
+            return searcher.search_batch(queries, k, ef,
+                                         batch_size=batch_size,
+                                         deadline_ms=deadline_ms)
         return searcher.search_batch(queries, k, ef, batch_size=batch_size)
 
     def get_payload(self, vector_id: int) -> Any:
@@ -275,12 +382,85 @@ class VectorStore:
             compacted = self._maintainer.delete(ids)
         for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
             self._payloads.pop(int(i), None)
+        if self._wal is not None:
+            self._wal.log_delete(ids)
+            self._maybe_checkpoint()
         return compacted
 
-    def flush(self) -> None:
-        """Drain pending online repairs and due merges (no-op sans serving)."""
+    def flush(self, timeout: float | None = 10.0) -> bool:
+        """Drain pending online repairs and due merges (no-op sans serving).
+
+        Returns True once the queue drained; False when the wait timed out
+        with work still pending (also counted in ``maintenance_flush_timeouts``),
+        so callers can tell a drained queue from a stuck worker.
+        """
         if self._scheduler is not None:
-            self._scheduler.flush()
+            return self._scheduler.flush(timeout=timeout)
+        return True
+
+    def checkpoint(self, keep_snapshots: int = 2) -> SnapshotInfo:
+        """Write an atomic snapshot and truncate the WAL behind it.
+
+        The snapshot captures the full live graph (including online-repair
+        edges and tombstones) plus payloads at the current WAL sequence
+        number; once committed, the log rotates and segments the snapshot
+        covers are pruned, keeping the directory bounded.  Requires a
+        ``wal_dir``.
+        """
+        if self._wal is None:
+            raise RuntimeError("checkpoint() requires a store built with wal_dir")
+        if self._fixer is None:
+            self.build()
+        if self._scheduler is not None:
+            with self._scheduler.write_lock:
+                return self._checkpoint_locked(keep_snapshots)
+        return self._checkpoint_locked(keep_snapshots)
+
+    def _checkpoint_locked(self, keep_snapshots: int) -> SnapshotInfo:
+        self._wal.sync()
+        seq = self._wal.seq
+        info = self._snapshots.write(self._fixer, self._payloads, seq)
+        self._wal.rotate()
+        self._wal.prune(seq)
+        self._snapshots.prune(keep=keep_snapshots)
+        self._last_checkpoint_seq = seq
+        return info
+
+    def _maybe_checkpoint(self) -> None:
+        if (self._checkpoint_every > 0 and self._fixer is not None
+                and self._wal.seq - self._last_checkpoint_seq
+                >= self._checkpoint_every):
+            self.checkpoint()
+
+    def _attach_wal(self, wal: WriteAheadLog,
+                    snapshots: SnapshotManager) -> None:
+        """Adopt an already-open log (recovery attaches after replay)."""
+        self._wal = wal
+        self._snapshots = snapshots
+        self._last_checkpoint_seq = wal.seq
+        if self._scheduler is not None:
+            self._scheduler.wal = wal
+
+    def _adopt_index(self, index, payloads: dict[int, Any]) -> None:
+        """Install a reconstructed index (load()/recovery) as the store's own."""
+        self._fixer = NGFixer(index, self.fix_config)
+        self._fixer.entry = index.entry
+        self._maintainer = IndexMaintainer(
+            self._fixer, np.empty((0, index.dc.dim), dtype=np.float32))
+        self._payloads = payloads
+        self._attach_serving()
+
+    def close(self) -> None:
+        """Stop background work and seal the WAL (flushes + fsyncs)."""
+        if self._scheduler is not None and self._scheduler_mode == "thread":
+            self._scheduler.stop()
+        if self._wal is not None:
+            self._wal.close()
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The write-ahead log (None unless built with ``wal_dir``)."""
+        return self._wal
 
     @property
     def scheduler(self) -> MaintenanceScheduler | None:
@@ -311,6 +491,9 @@ class VectorStore:
         out["payloads"] = len(self._payloads)
         if self._scheduler is not None:
             out["serving"] = self._scheduler.stats()
+        if self._wal is not None:
+            out["wal"] = self._wal.stats()
+            out["last_checkpoint_seq"] = self._last_checkpoint_seq
         return out
 
     # -- persistence ----------------------------------------------------------
@@ -321,7 +504,7 @@ class VectorStore:
             raise RuntimeError("build() before save()")
         path = save_index(self._fixer, path)
         sidecar = path.with_suffix(".payloads.json")
-        sidecar.write_text(json.dumps(
+        atomic_write_text(sidecar, json.dumps(
             {str(k): v for k, v in self._payloads.items()}))
         return path
 
@@ -329,19 +512,26 @@ class VectorStore:
     def load(cls, path: str | pathlib.Path,
              fix_config: FixConfig | None = None,
              serving: bool = True) -> "VectorStore":
-        """Reload a saved store; further fixing works, insertion does not
-        (the frozen graph lacks HNSW's builder state)."""
+        """Reload a saved store for serving and repair — **not insertion**.
+
+        The loaded graph is a :class:`~repro.io.FrozenIndex`: search,
+        :meth:`observe`-driven repair, :meth:`delete`, and further
+        :meth:`save` calls all work, but :meth:`add` raises
+        ``RuntimeError`` because the frozen graph lacks the original
+        builder's insert machinery (layer assignments and per-node
+        construction state are not serialized).  To keep inserting into a
+        persisted store, use the durability layer instead: construct with
+        ``wal_dir=`` and restart via :func:`repro.durability.recover`,
+        which rebuilds an insert-capable index from snapshot + WAL.
+        """
         path = pathlib.Path(path)
         frozen = load_index(path)
         store = cls(dim=frozen.dc.dim, metric=frozen.dc.metric,
                     fix_config=fix_config, serving=serving)
-        store._fixer = NGFixer(frozen, store.fix_config)
-        store._fixer.entry = frozen.entry
-        store._maintainer = IndexMaintainer(
-            store._fixer, np.empty((0, frozen.dc.dim), dtype=np.float32))
+        payloads = {}
         sidecar = path.with_suffix(".payloads.json")
         if sidecar.exists():
-            store._payloads = {int(k): v for k, v in
-                               json.loads(sidecar.read_text()).items()}
-        store._attach_serving()
+            payloads = {int(k): v for k, v in
+                        json.loads(sidecar.read_text()).items()}
+        store._adopt_index(frozen, payloads)
         return store
