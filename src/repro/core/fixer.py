@@ -139,7 +139,7 @@ class NGFixer:
         return greedy_search(
             self.dc, self.index._neighbors_fn(), [self.entry], q, k=k, ef=ef,
             visited=self.index._visited,
-            excluded=self.adjacency.tombstones or None,
+            excluded=self.adjacency.excluded_ids(),
             collect_visited=collect_visited, prepared=True,
         )
 
@@ -154,7 +154,7 @@ class NGFixer:
                 self.dc,
                 self.adjacency.neighbors,
                 self.entry_points,
-                excluded_fn=lambda: self.adjacency.tombstones or None,
+                excluded_fn=self.adjacency.excluded_ids,
                 batch_size=batch_size,
                 graph_fn=self.adjacency.traversal,
             )
@@ -175,6 +175,20 @@ class NGFixer:
     # -- preprocessing (Sec. 5.1) ---------------------------------------------
 
     def _preprocess_exact(self, queries: np.ndarray, n_neighbors: int):
+        removed = self.adjacency.removed
+        if removed and self.dc.size - len(removed) >= n_neighbors:
+            # Compacted rows linger in the data matrix; brute force over
+            # them would hand repair ids whose nodes no longer exist, and
+            # the resulting extra edges would resurrect them.  Mask them
+            # out and map the ground truth back to global ids.
+            alive = np.setdiff1d(
+                np.arange(self.dc.size, dtype=np.int64),
+                np.fromiter(removed, dtype=np.int64, count=len(removed)))
+            gt = compute_ground_truth(self.dc.data[alive], queries,
+                                      n_neighbors, self.dc.metric,
+                                      n_workers=self.config.n_workers)
+            self.preprocess_ndc += queries.shape[0] * alive.shape[0]
+            return alive[gt.ids], gt.distances
         gt = compute_ground_truth(self.dc.data, queries, n_neighbors,
                                   self.dc.metric,
                                   n_workers=self.config.n_workers)

@@ -85,8 +85,13 @@ class IndexMaintainer:
                 f"base index {type(self.fixer.index).__name__} does not "
                 "support incremental insertion")
         ids = [self.fixer.index.insert(v) for v in vectors]
-        # The medoid drifts as data grows; recompute the fixed entry.
-        self.fixer.entry = self.fixer.index.medoid()
+        # The medoid drifts as data grows; recompute the fixed entry.  A
+        # compacted row can win the medoid computation (its vector is still
+        # in the data matrix) but its node is edgeless — keep the current
+        # entry in that case.
+        entry = self.fixer.index.medoid()
+        if entry not in self.fixer.adjacency.removed:
+            self.fixer.entry = entry
         self._notify()
         return ids
 
@@ -166,7 +171,11 @@ class IndexMaintainer:
             K_max = config.k_max(k)
             deleted_arr = np.fromiter(deleted, dtype=np.int64)
             alive_mask = np.ones(self.fixer.dc.size, dtype=bool)
-            alive_mask[deleted_arr] = False
+            # Mask every compacted id ever (remove_node_edges above folded
+            # this round into adjacency.removed): repair must not target
+            # rows whose nodes were stripped in an earlier compaction.
+            gone = self.fixer.adjacency.removed
+            alive_mask[np.fromiter(gone, dtype=np.int64, count=len(gone))] = False
             alive = np.flatnonzero(alive_mask)
             # Exact neighborhoods of the deleted points among survivors.
             dists = pairwise_distances(
@@ -186,11 +195,15 @@ class IndexMaintainer:
                 repaired += 1
 
         self.fixer.adjacency.tombstones.clear()
-        self._deleted_ids = deleted
-        # Entry point may have been deleted; move it to a surviving node.
+        # Accumulate across compactions: ids are never reused, so every
+        # compacted id stays dead for the store's whole lifetime.
+        self._deleted_ids = getattr(self, "_deleted_ids", set()) | deleted
+        # Entry point may have been deleted; move it to a surviving node
+        # (adjacency.removed covers this round and every earlier one).
         if self.fixer.entry in deleted:
-            alive = [i for i in range(self.fixer.dc.size) if i not in deleted]
-            self.fixer.entry = alive[0]
+            gone = self.fixer.adjacency.removed
+            self.fixer.entry = next(
+                i for i in range(self.fixer.dc.size) if i not in gone)
         self.last_compaction_seconds = time.perf_counter() - start
         self._notify()
         return {

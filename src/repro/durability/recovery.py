@@ -8,10 +8,13 @@
    sequence number it captures.
 2. Open the WAL (torn-tail truncation happens here) and replay every
    record after that sequence number, in order: inserts re-enter the
-   graph, deletes re-tombstone (and re-trigger the same compactions),
-   observe records re-run the online NGFix/RFix repair that was
-   acknowledged before the crash, and merge-cut markers re-cut epochs so
-   the recovered store's serving cadence matches the original.
+   graph (pending until the build marker, incrementally after it — the
+   same bulk/incremental split the original store used), build markers
+   run the one-shot HNSW construction, deletes re-tombstone (and
+   re-trigger the same compactions), observe records re-run the online
+   NGFix/RFix repair that was acknowledged before the crash, and
+   merge-cut markers re-cut epochs so the recovered store's serving
+   cadence matches the original.
 3. Verify the terminal sequence number and structural invariants
    (sequence continuity, vector-count accounting, every replayed delete
    tombstoned or compacted) and surface the outcome as a
@@ -221,8 +224,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
         snap_seq = 0
         base_n = 0
 
-    replayed = {"insert": 0, "delete": 0, "observe": 0, "merge_cut": 0,
-                "rows_inserted": 0}
+    replayed = {"insert": 0, "build": 0, "delete": 0, "observe": 0,
+                "merge_cut": 0, "rows_inserted": 0}
     deleted_replayed: set[int] = set()
     last_seq = snap_seq
     for record in read_wal(wal_dir, after_seq=snap_seq):
@@ -238,9 +241,14 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
                     f"seq {record.seq}: replayed insert got id {ids[0]}, "
                     f"log recorded {record.first_id}")
         else:
+            # Build markers place the bulk/incremental boundary exactly
+            # where the original store built; any other op implies the
+            # store was built by then (older logs lack the marker).
             if not store.is_built:
                 store.build()
-            if record.op == "delete":
+            if record.op == "build":
+                replayed["build"] += 1
+            elif record.op == "delete":
                 store.delete(record.ids)
                 deleted_replayed.update(int(i) for i in record.ids)
                 replayed["delete"] += 1
@@ -295,7 +303,7 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
     if OBS.enabled:
         _RECOVERIES.inc()
         _RECOVERY_RECORDS.inc(sum(
-            replayed[op] for op in ("insert", "delete", "observe",
+            replayed[op] for op in ("insert", "build", "delete", "observe",
                                     "merge_cut")))
         _RECOVERY_ERRORS.inc(len(errors))
         _RECOVERY_SECONDS.observe(elapsed)

@@ -21,6 +21,10 @@ Ops:
                    the repair committed)
  4    MERGE_CUT    empty (an epoch merge point; replay re-cuts so the
                    recovered store's epoch cadence matches the original)
+ 5    BUILD        empty (the bulk-build boundary: inserts before this
+                   record were indexed in one HNSW construction; replay
+                   builds here so the recovered graph's structure matches
+                   the original's build/insert split)
 ====  ===========  ====================================================
 
 Durability contract: every append is flushed to the OS (``file.flush``) —
@@ -44,6 +48,7 @@ import json
 import os
 import pathlib
 import struct
+import threading
 import time
 import zlib
 from typing import Iterator, Sequence
@@ -62,8 +67,10 @@ OP_INSERT = 1
 OP_DELETE = 2
 OP_OBSERVE = 3
 OP_MERGE_CUT = 4
+OP_BUILD = 5
 _OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete",
-             OP_OBSERVE: "observe", OP_MERGE_CUT: "merge_cut"}
+             OP_OBSERVE: "observe", OP_MERGE_CUT: "merge_cut",
+             OP_BUILD: "build"}
 
 _WAL_APPENDS = OBS.counter(
     "wal_appends", "records appended to the write-ahead log")
@@ -232,7 +239,16 @@ def read_wal(directory: str | pathlib.Path,
 
 
 class WriteAheadLog:
-    """Append side of the log (one writer; reads go through :func:`read_wal`).
+    """Append side of the log (reads go through :func:`read_wal`).
+
+    Appends are internally serialized: sequence allocation, the frame
+    write/flush, and fsync batching all happen under one lock, so
+    concurrent writers (a foreground mutator plus the background
+    maintenance worker journaling repairs and merges) always produce
+    gap-free, monotonically ordered records.  ``seq`` advances only after
+    a frame is fully written — a failed append (injected fault, ENOSPC)
+    leaves the counter untouched, so the next successful record never
+    skips a number.
 
     Opening an existing directory recovers the terminal sequence number by
     scanning all segments and truncates any torn tail from the newest one,
@@ -245,6 +261,7 @@ class WriteAheadLog:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.sync_every = sync_every
+        self._lock = threading.Lock()
         self.seq = 0
         self.n_records = 0
         self.n_fsyncs = 0
@@ -270,44 +287,59 @@ class WriteAheadLog:
 
     # -- appends -----------------------------------------------------------
 
-    def _append(self, body: bytes) -> int:
-        FAULTS.fire("wal.pre_append")
-        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
-        self._f.write(frame)
-        self._f.flush()  # into the OS: acknowledged writes survive a crash
-        self.n_records += 1
-        self._unsynced += 1
-        if OBS.enabled:
-            _WAL_APPENDS.inc()
-            _WAL_BYTES.inc(len(frame))
-        if self.sync_every and self._unsynced >= self.sync_every:
-            self.sync()
-        return self.seq
+    def _append(self, encode) -> int:
+        """Allocate the next seq, encode, and write one frame atomically.
+
+        ``encode(seq) -> bytes`` builds the body for the sequence number
+        this append claims.  ``self.seq`` is published only after the
+        frame hit the file, so a raising append (fault, full disk) never
+        burns a number and recovery never sees a gap it didn't earn.
+        """
+        with self._lock:
+            seq = self.seq + 1
+            body = encode(seq)
+            FAULTS.fire("wal.pre_append")
+            frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+            self._f.write(frame)
+            self._f.flush()  # into the OS: acknowledged writes survive a crash
+            self.seq = seq
+            self.n_records += 1
+            self._unsynced += 1
+            if OBS.enabled:
+                _WAL_APPENDS.inc()
+                _WAL_BYTES.inc(len(frame))
+            if self.sync_every and self._unsynced >= self.sync_every:
+                self._sync_locked()
+            return seq
 
     def log_insert(self, first_id: int, vectors: np.ndarray,
                    payloads: Sequence | None = None) -> int:
         """Log an acknowledged insert batch; returns its seq."""
-        self.seq += 1
-        return self._append(_encode_insert(self.seq, first_id, vectors,
-                                           payloads))
+        return self._append(
+            lambda seq: _encode_insert(seq, first_id, vectors, payloads))
 
     def log_delete(self, ids) -> int:
-        self.seq += 1
-        return self._append(_encode_delete(
-            self.seq, np.atleast_1d(np.asarray(ids, dtype=np.int64))))
+        arr = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        return self._append(lambda seq: _encode_delete(seq, arr))
 
     def log_observe(self, query: np.ndarray) -> int:
-        self.seq += 1
-        return self._append(_encode_observe(self.seq, query))
+        return self._append(lambda seq: _encode_observe(seq, query))
 
     def log_merge_cut(self) -> int:
-        self.seq += 1
-        return self._append(_BODY_PREFIX.pack(self.seq, OP_MERGE_CUT))
+        return self._append(lambda seq: _BODY_PREFIX.pack(seq, OP_MERGE_CUT))
+
+    def log_build(self) -> int:
+        """Log the bulk-build boundary (replay builds at this record)."""
+        return self._append(lambda seq: _BODY_PREFIX.pack(seq, OP_BUILD))
 
     # -- durability boundary ------------------------------------------------
 
     def sync(self) -> None:
         """Force the unsynced tail to stable storage (fsync)."""
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         if self._f.closed:
             return
         self._f.flush()
@@ -324,13 +356,14 @@ class WriteAheadLog:
 
     def rotate(self) -> pathlib.Path:
         """Seal the active segment and open a new one at ``seq + 1``."""
-        self.sync()
-        self._f.close()
-        self._path = _segment_path(self.directory, self.seq + 1)
-        self._f = open(self._path, "ab")
-        if OBS.enabled:
-            _WAL_ROTATIONS.inc()
-        return self._path
+        with self._lock:
+            self._sync_locked()
+            self._f.close()
+            self._path = _segment_path(self.directory, self.seq + 1)
+            self._f = open(self._path, "ab")
+            if OBS.enabled:
+                _WAL_ROTATIONS.inc()
+            return self._path
 
     def prune(self, upto_seq: int) -> int:
         """Delete sealed segments whose records are all ``<= upto_seq``.
@@ -354,9 +387,10 @@ class WriteAheadLog:
         return removed
 
     def close(self) -> None:
-        if not self._f.closed:
-            self.sync()
-            self._f.close()
+        with self._lock:
+            if not self._f.closed:
+                self._sync_locked()
+                self._f.close()
 
     def stats(self) -> dict:
         return {

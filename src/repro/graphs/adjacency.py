@@ -81,6 +81,12 @@ class AdjacencyStore:
         self._extra: list[dict[int, float]] = [{} for _ in range(n_nodes)]
         self._cache: list[np.ndarray | None] = [None] * n_nodes
         self.tombstones: set[int] = set()
+        # Ids physically compacted away (edges stripped, row still in the
+        # data matrix).  Unlike tombstones this set is never cleared: a
+        # compacted id must stay out of search results and out of repair's
+        # ground truth forever, or online fixing can re-link ("resurrect")
+        # it through the stale data row.
+        self.removed: set[int] = set()
         # Freeze bookkeeping: a monotone mutation counter, the per-node stamp
         # of the last mutation that touched each node's out-edges (used by
         # the parallel fixer to validate speculative EH results), the cached
@@ -406,13 +412,24 @@ class AdjacencyStore:
             self._touch(u)
         return n_drop
 
+    def excluded_ids(self) -> set[int] | None:
+        """Ids barred from search results: live tombstones + compacted ids.
+
+        ``None`` when both sets are empty, so hot paths keep their
+        no-allocation fast path.
+        """
+        if self.removed:
+            return self.tombstones | self.removed
+        return self.tombstones or None
+
     def remove_node_edges(self, deleted: set[int]) -> None:
         """Physically remove all edges into/out of ``deleted`` nodes.
 
         Used by the compaction path of deletion (Sec. 5.5.2): once tombstones
         exceed the threshold, a full traversal strips deleted points and
-        their incoming edges.
+        their incoming edges.  The ids join :attr:`removed` permanently.
         """
+        self.removed |= set(deleted)
         for u in range(self.n_nodes):
             if u in deleted:
                 self._base[u] = []
@@ -435,6 +452,7 @@ class AdjacencyStore:
         out._base = [list(lst) for lst in self._base]
         out._extra = [dict(d) for d in self._extra]
         out.tombstones = set(self.tombstones)
+        out.removed = set(self.removed)
         out._mutation_version = self._mutation_version
         out._node_stamp = self._node_stamp.copy()
         return out

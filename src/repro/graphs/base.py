@@ -79,7 +79,7 @@ class GraphIndex(abc.ABC):
         if ef is None:
             ef = max(k, 10)
         q = self.dc.prepare_query(query)
-        excluded = self.adjacency.tombstones or None
+        excluded = self.adjacency.excluded_ids()
         return greedy_search(
             self.dc,
             self._neighbors_fn(),
@@ -101,7 +101,7 @@ class GraphIndex(abc.ABC):
                 self.dc,
                 self.adjacency.neighbors,
                 self.entry_points,
-                excluded_fn=lambda: self.adjacency.tombstones or None,
+                excluded_fn=self.adjacency.excluded_ids,
                 batch_size=batch_size,
                 graph_fn=self.adjacency.traversal,
             )

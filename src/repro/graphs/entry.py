@@ -110,5 +110,5 @@ class MultiEntryIndex:
             self.index.dc, self.index.adjacency.neighbors,
             self.strategy.entries(self.index.dc, q), q, k=k, ef=ef,
             visited=self.index._visited,
-            excluded=self.index.adjacency.tombstones or None,
+            excluded=self.index.adjacency.excluded_ids(),
             collect_visited=collect_visited, prepared=True)

@@ -103,6 +103,7 @@ def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
                 extra_eh=np.array(extra_eh, dtype=np.float64),
                 tombstones=np.array(sorted(adjacency.tombstones),
                                     dtype=np.int64),
+                removed=np.array(sorted(adjacency.removed), dtype=np.int64),
                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
             )
             f.flush()
@@ -140,4 +141,6 @@ def load_index(path: str | pathlib.Path, index_cls=None) -> FrozenIndex:
                             payload["extra_eh"]):
             index.adjacency.add_extra_edge(int(u), int(v), float(eh))
         index.adjacency.tombstones.update(int(t) for t in payload["tombstones"])
+        if "removed" in payload:  # absent in pre-compaction-aware artifacts
+            index.adjacency.removed.update(int(t) for t in payload["removed"])
     return index

@@ -125,7 +125,7 @@ class PQRerankSearcher:
             ef = max(k, 10)
         q = self.dc.prepare_query(query)
         table = self.pq.adc_table(q)
-        excluded = self.index.adjacency.tombstones or None
+        excluded = self.index.adjacency.excluded_ids()
         shortlist, n_scored = pq_greedy_search(
             self.pq, self.codes, self.index.adjacency.neighbors,
             self.index.entry_points(q), table, k=max(self.rerank, k),

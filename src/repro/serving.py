@@ -336,7 +336,11 @@ class EpochManager:
         epochs/overlays stay alive for as long as pins reference them.
         """
         graph = self.adjacency.freeze()
-        tombstones = frozenset(self.adjacency.tombstones)
+        # Compacted (removed) ids stay excluded forever: their edges are
+        # gone but their data rows remain, so result filtering is the last
+        # line of defense against them resurfacing.
+        tombstones = frozenset(self.adjacency.tombstones
+                               | self.adjacency.removed)
         overlay = DeltaOverlay(graph.n_nodes)
         with self._lock:
             self._epoch_counter += 1

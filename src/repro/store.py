@@ -15,6 +15,7 @@ API; the store only sequences it.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 from typing import Any, Sequence
@@ -158,8 +159,10 @@ class VectorStore:
     def deleted_ids(self) -> set[int]:
         if self._fixer is None:
             return set()
-        return set(self._fixer.adjacency.tombstones) | getattr(
-            self._maintainer, "_deleted_ids", set())
+        # adjacency.removed (persisted in snapshots) covers compacted ids,
+        # so recovered stores report them too.
+        return (set(self._fixer.adjacency.tombstones)
+                | self._fixer.adjacency.removed)
 
     def add(self, vectors: np.ndarray,
             payloads: Sequence[Any] | None = None) -> list[int]:
@@ -193,18 +196,47 @@ class VectorStore:
             first_id = sum(v.shape[0] for v in self._pending)
             self._pending.append(vectors)
             ids = list(range(first_id, first_id + vectors.shape[0]))
+            if self._wal is not None:
+                self._wal.log_insert(first_id, vectors, payloads)
         elif self._scheduler is not None:
-            with self._scheduler.write_lock:
+            # Journal inside the write lock so the record lands in commit
+            # order relative to the scheduler's own observe/merge records.
+            with self._scheduler.write_lock, self._deferred_merge_notify():
                 ids = self._maintainer.insert(vectors)
+                if self._wal is not None:
+                    self._wal.log_insert(ids[0] if ids else 0, vectors,
+                                         payloads)
         else:
             ids = self._maintainer.insert(vectors)
+            if self._wal is not None:
+                self._wal.log_insert(ids[0] if ids else 0, vectors, payloads)
         if payloads is not None:
             for i, payload in zip(ids, payloads):
                 self._payloads[i] = payload
         if self._wal is not None:
-            self._wal.log_insert(ids[0] if ids else 0, vectors, payloads)
             self._maybe_checkpoint()
         return ids
+
+    @contextlib.contextmanager
+    def _deferred_merge_notify(self):
+        """Hold back the maintainer's merge-cadence callback while applying
+        and journaling one mutation.
+
+        The maintainer fires ``on_change`` *inside* insert/delete, which in
+        inline mode can merge (and journal a merge-cut) before the mutation
+        itself is journaled — inverting WAL order relative to commit order.
+        Detaching the callback for the apply+journal window and firing it
+        afterwards keeps the log's order equal to what actually happened;
+        replay then re-triggers the same cascade at the same point.  On an
+        exception the callback is restored but not fired.
+        """
+        notify, self._maintainer.on_change = self._maintainer.on_change, None
+        try:
+            yield
+        finally:
+            self._maintainer.on_change = notify
+        if notify is not None:
+            notify()
 
     def build(self) -> "VectorStore":
         """Index all pending vectors (idempotent after the first call)."""
@@ -221,6 +253,11 @@ class VectorStore:
         self._maintainer = IndexMaintainer(
             self._fixer, np.empty((0, self.dim), dtype=np.float32)
             if not self._history else np.vstack(self._history))
+        if self._wal is not None:
+            # Build-boundary marker: replay bulk-builds exactly the inserts
+            # logged before this record and goes incremental after it, so
+            # the recovered graph structure matches the original's.
+            self._wal.log_build()
         self._attach_serving()
         return self
 
@@ -374,16 +411,23 @@ class VectorStore:
         if self._fixer is None:
             raise RuntimeError("build() before delete()")
         if self._scheduler is not None:
+            # Journal the delete before the merges it triggers (the
+            # cadence callback and the post-compaction cut below), so WAL
+            # order equals commit order and replay re-cuts the same epochs.
             with self._scheduler.write_lock:
-                compacted = self._maintainer.delete(ids)
+                with self._deferred_merge_notify():
+                    compacted = self._maintainer.delete(ids)
+                    if self._wal is not None:
+                        self._wal.log_delete(ids)
                 if compacted:
                     self._scheduler.merge_now()
         else:
             compacted = self._maintainer.delete(ids)
+            if self._wal is not None:
+                self._wal.log_delete(ids)
         for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)):
             self._payloads.pop(int(i), None)
         if self._wal is not None:
-            self._wal.log_delete(ids)
             self._maybe_checkpoint()
         return compacted
 

@@ -7,6 +7,7 @@ serving layer's graceful-degradation paths in isolation.
 
 import json
 import struct
+import threading
 import time
 
 import numpy as np
@@ -49,6 +50,7 @@ class TestWalFraming:
         wal = WriteAheadLog(tmp_path, sync_every=0)
         vectors = _vectors(3, 4)
         wal.log_insert(10, vectors, payloads=[{"a": 1}, None, {"b": 2}])
+        wal.log_build()
         wal.log_delete([7, 9])
         wal.log_observe(np.ones(4, dtype=np.float32))
         wal.log_merge_cut()
@@ -56,15 +58,15 @@ class TestWalFraming:
 
         records = list(read_wal(tmp_path))
         assert [r.op for r in records] == [
-            "insert", "delete", "observe", "merge_cut"]
-        assert [r.seq for r in records] == [1, 2, 3, 4]
+            "insert", "build", "delete", "observe", "merge_cut"]
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
         ins = records[0]
         assert ins.first_id == 10
         np.testing.assert_array_equal(ins.vectors, vectors)
         assert ins.payloads == [{"a": 1}, None, {"b": 2}]
-        np.testing.assert_array_equal(records[1].ids, [7, 9])
+        np.testing.assert_array_equal(records[2].ids, [7, 9])
         np.testing.assert_array_equal(
-            records[2].query, np.ones(4, dtype=np.float32))
+            records[3].query, np.ones(4, dtype=np.float32))
 
     def test_after_seq_filter(self, tmp_path):
         wal = WriteAheadLog(tmp_path, sync_every=0)
@@ -83,6 +85,40 @@ class TestWalFraming:
         assert wal2.log_delete([3]) == 3
         wal2.close()
         assert [r.seq for r in read_wal(tmp_path)] == [1, 2, 3]
+
+
+class TestWalConcurrency:
+    def test_concurrent_appends_stay_gap_free(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync_every=4)
+        per_thread = 200
+
+        def hammer():
+            for _ in range(per_thread):
+                wal.log_merge_cut()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wal.close()
+        # Every appended record must carry a unique, contiguous seq and
+        # the frames must land in seq order (recovery replays in file
+        # order and flags any gap).
+        seqs = [r.seq for r in read_wal(tmp_path)]
+        assert seqs == list(range(1, 4 * per_thread + 1))
+
+    def test_failed_append_does_not_burn_a_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync_every=0)
+        wal.log_delete([1])
+        plan = FaultPlan().on("wal.pre_append", "raise")
+        with FAULTS.injected(plan):
+            with pytest.raises(FaultInjected):
+                wal.log_delete([2])
+        assert wal.seq == 1  # the failed append rolled nothing forward
+        wal.log_delete([3])
+        wal.close()
+        assert [r.seq for r in read_wal(tmp_path)] == [1, 2]
 
 
 class TestTornTail:
@@ -314,6 +350,72 @@ class TestRecovery:
         store.close()
         with pytest.raises(RuntimeError, match="recover"):
             VectorStore(dim=8, wal_dir=wal_dir)
+
+    def test_build_marker_splits_bulk_and_incremental(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        store = _make_store(wal_dir, n=30, seed=12)
+        store.add(_vectors(5, seed=13))  # post-build: incremental inserts
+        store.close()
+
+        ops = [r.op for r in read_wal(wal_dir)]
+        assert ops[:3] == ["insert", "build", "insert"]
+
+        recovered, report = recover(wal_dir)
+        assert report.consistent, report.errors
+        assert report.replayed["build"] == 1
+        assert report.replayed["rows_inserted"] == 35
+        assert recovered._fixer.dc.size == 35
+        recovered.close()
+
+    def test_mutation_journaled_before_triggered_merge(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        # 50 points, compact_threshold 0.05 -> deleting 3 compacts, and the
+        # compaction's epoch merge must be journaled AFTER the delete.
+        store = _make_store(wal_dir, n=50, seed=14)
+        store.delete([0, 1, 2])
+        store.close()
+
+        ops = [r.op for r in read_wal(wal_dir)]
+        assert "merge_cut" in ops  # compaction merged
+        assert ops.index("delete") < ops.index("merge_cut")
+
+        recovered, report = recover(wal_dir)
+        assert report.consistent, report.errors
+        recovered.close()
+
+
+class TestDurableThreadMode:
+    """WAL + scheduler_mode='thread': the background worker journals
+    observe/merge-cut records while the foreground thread journals
+    inserts/deletes — the log must stay gap-free and replayable."""
+
+    def test_concurrent_churn_recovers(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        store = VectorStore(dim=8, seed=0, wal_dir=wal_dir,
+                            scheduler_mode="thread", merge_every=16,
+                            sync_every=0)
+        store.add(_vectors(80, seed=0))
+        store.build()
+        deleted = []
+        for i in range(25):
+            ids = store.add(_vectors(2, seed=100 + i))
+            store.observe(_vectors(1, seed=200 + i)[0])  # worker journals
+            store.delete([ids[0]])
+            deleted.append(ids[0])
+        assert store.flush(timeout=30.0)
+        store.close()
+
+        seqs = [r.seq for r in read_wal(wal_dir)]
+        assert seqs == list(range(1, len(seqs) + 1))  # no gaps/dups/reorder
+
+        recovered, report = recover(wal_dir)
+        assert report.consistent, report.errors
+        assert report.n_vectors == 80 + 50
+        # Tombstoned/compacted ids never surface in results.
+        for q in _vectors(5, seed=300):
+            hit_ids = {i for i, _, _ in recovered.search(q, k=10)}
+            assert not hit_ids & set(deleted)
+        recovered.close()
 
 
 class TestGracefulDegradation:
