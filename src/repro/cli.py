@@ -45,6 +45,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "Prometheus text exposition at the end")
 
 
+def _add_compressed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--compressed", action="store_true",
+                        help="serve through the PQ-resident compressed hot "
+                             "path (ADC traversal + exact re-rank)")
+    parser.add_argument("--pq-m", type=int, default=None,
+                        help="PQ subspace count (default: largest of "
+                             "8/6/4/3/2/1 dividing dim)")
+    parser.add_argument("--pq-ks", type=int, default=32,
+                        help="PQ centroids per subspace (<= 256)")
+    parser.add_argument("--rerank", type=int, default=50,
+                        help="exact re-rank shortlist size (full-precision "
+                             "NDC budget per query)")
+    parser.add_argument("--memmap-dir",
+                        help="spill base vectors to <dir>/vectors.vecs and "
+                             "serve them via np.memmap (disk-resident tier)")
+
+
+def _store_compressed_kwargs(args) -> dict:
+    import pathlib
+    kwargs = {}
+    if getattr(args, "compressed", False):
+        kwargs.update(compressed=True, pq_m=args.pq_m, pq_ks=args.pq_ks,
+                      rerank=args.rerank)
+    if getattr(args, "memmap_dir", None):
+        kwargs["memmap_path"] = (
+            pathlib.Path(args.memmap_dir) / "vectors.vecs")
+    return kwargs
+
+
+def _print_compressed_stats(store) -> None:
+    stats = store.stats()
+    comp = stats.get("compressed")
+    if comp:
+        print(f"  PQ: m={comp['pq_m']} ks={comp['pq_ks']} "
+              f"rerank={comp['rerank']} ({comp['code_bytes']} code bytes); "
+              f"{comp['adc_scored']} ADC scorings, "
+              f"{comp['rerank_ndc']} exact re-rank NDC, "
+              f"{comp['pagein_seconds'] * 1e3:.1f}ms page-in")
+    mm = stats.get("memmap")
+    if mm:
+        print(f"  memmap tier: {mm['path']} ({mm['vector_bytes']} bytes)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="NGFix/RFix ANNS reproduction CLI")
@@ -97,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_churn.add_argument("--sync-every", type=int, default=8,
                          help="fsync the WAL every N records (1 = every "
                               "record, 0 = never; requires --wal-dir)")
+    _add_compressed(p_churn)
 
     p_rec = sub.add_parser(
         "recover", help="rebuild a store from its WAL directory and report")
@@ -121,6 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--traces", type=int, default=0,
                          help="also dump the N most recent per-query traces "
                               "as JSON (0 = off)")
+    _add_compressed(p_stats)
 
     p_ex = sub.add_parser("explain", help="diagnose one test query in depth")
     _add_common(p_ex)
@@ -237,7 +282,8 @@ def _cmd_churn(args) -> int:
     store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
                         M=12, ef_construction=60, seed=args.seed,
                         merge_every=args.merge_every,
-                        wal_dir=args.wal_dir, sync_every=args.sync_every)
+                        wal_dir=args.wal_dir, sync_every=args.sync_every,
+                        **_store_compressed_kwargs(args))
     store.add(ds.base)
     store.build()
     store.fit_history(ds.train_queries)
@@ -262,6 +308,7 @@ def _cmd_churn(args) -> int:
           f"{report.n_observed} observed, {report.merges} epoch merges, "
           f"{report.repairs} online repairs")
     print(f"  query-path O(E) refreezes: {report.query_path_freezes}")
+    _print_compressed_stats(store)
     if store.wal is not None:
         wal_stats = store.wal.stats()
         print(f"  WAL: {wal_stats['records']} records, "
@@ -314,7 +361,8 @@ def _cmd_stats(args) -> int:
     ds = _load_dataset(args)
     store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
                         M=12, ef_construction=60, seed=args.seed,
-                        scheduler_mode="thread")
+                        scheduler_mode="thread",
+                        **_store_compressed_kwargs(args))
     store.add(ds.base)
     store.build()
     try:

@@ -8,6 +8,10 @@ evaluation is counted, giving the paper's NDC efficiency metric for free, and
 
 from __future__ import annotations
 
+import mmap
+import os
+import pathlib
+
 import numpy as np
 
 from repro.distances.metrics import Metric, normalize_rows
@@ -32,6 +36,7 @@ class DistanceComputer:
             data = normalize_rows(data)
         self._data = data
         self.ndc = 0
+        self._memmap_path: pathlib.Path | None = None
 
     @property
     def data(self) -> np.ndarray:
@@ -45,6 +50,101 @@ class DistanceComputer:
     @property
     def dim(self) -> int:
         return self._data.shape[1]
+
+    # -- memmap tier ---------------------------------------------------------
+
+    @staticmethod
+    def _open_memmap(path: pathlib.Path, shape: tuple) -> np.ndarray:
+        """Read-only memmap with random-access paging hints.
+
+        The disk tier is gathered by scattered re-rank row fetches, so
+        sequential readahead only drags untouched neighbors into memory;
+        ``MADV_RANDOM`` keeps page-ins to the rows actually read.
+        """
+        data = np.memmap(path, dtype=np.float32, mode="r", shape=shape)
+        try:
+            data._mmap.madvise(mmap.MADV_RANDOM)
+        except (AttributeError, OSError):  # platform without madvise
+            pass
+        return data
+
+    @property
+    def is_memmap(self) -> bool:
+        """Whether the base matrix is disk-resident (``np.memmap``-backed)."""
+        return self._memmap_path is not None
+
+    @property
+    def memmap_path(self) -> pathlib.Path | None:
+        return self._memmap_path
+
+    @property
+    def vector_bytes(self) -> int:
+        """Raw bytes of the base matrix (file size in memmap mode)."""
+        return int(self._data.nbytes)
+
+    def use_memmap(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Spill the base matrix to ``path`` and serve it memory-mapped.
+
+        The stored (already COSINE-normalized) float32 matrix is written
+        row-major to a raw file and ``_data`` is re-pointed at a read-only
+        ``np.memmap`` over it, releasing the resident copy.  Distance
+        kernels are unchanged — row gathers lazily page in only the rows
+        they touch, which on the compressed hot path means the exact
+        re-rank shortlist, not the traversal frontier.  Idempotent for the
+        same path.
+        """
+        path = pathlib.Path(path)
+        if self._memmap_path == path:
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        shape = self._data.shape
+        arr = np.ascontiguousarray(self._data, dtype=np.float32)
+        with open(path, "wb") as f:
+            arr.tofile(f)
+            f.flush()
+            os.fsync(f.fileno())
+        del arr
+        self._data = self._open_memmap(path, shape)
+        self._memmap_path = path
+        return path
+
+    def remap(self) -> None:
+        """Re-open the memmap, dropping this process's resident mapping.
+
+        A fresh mapping starts with zero resident pages, so RSS measured
+        after ``remap()`` reflects only the rows gathered *since* — the
+        serving-phase disk-tier footprint, untainted by pages touched
+        during build, PQ training, or ground-truth computation.
+        """
+        if self._memmap_path is None:
+            raise ValueError("remap() requires memmap mode; call use_memmap")
+        shape = self._data.shape
+        self._data = self._open_memmap(self._memmap_path, shape)
+
+    @classmethod
+    def from_memmap(cls, path: str | pathlib.Path, dim: int,
+                    metric: Metric | str) -> "DistanceComputer":
+        """Open a spill file written by :meth:`use_memmap` without reading it.
+
+        The file is trusted to hold prepared float32 rows (finite, and
+        already normalized for COSINE) — validation would defeat the point
+        of not paging the matrix in.  Row count is derived from the file
+        size.
+        """
+        path = pathlib.Path(path)
+        itemsize = np.dtype(np.float32).itemsize
+        nbytes = path.stat().st_size
+        if dim <= 0 or nbytes == 0 or nbytes % (itemsize * dim):
+            raise ValueError(
+                f"{path} ({nbytes} bytes) is not a whole number of "
+                f"float32 rows of dimension {dim}")
+        self = cls.__new__(cls)
+        self.metric = Metric.parse(metric)
+        self._data = self._open_memmap(path,
+                                       (nbytes // (itemsize * dim), dim))
+        self.ndc = 0
+        self._memmap_path = path
+        return self
 
     def append(self, rows: np.ndarray) -> int:
         """Append new base vectors (normalizing for COSINE); returns first new id.
@@ -60,7 +160,17 @@ class DistanceComputer:
         if self.metric is Metric.COSINE:
             rows = normalize_rows(rows)
         first_new = self.size
-        self._data = np.ascontiguousarray(np.vstack([self._data, rows]))
+        if self._memmap_path is not None:
+            # Disk-resident tier: append the prepared rows to the spill file
+            # and remap at the new length — existing pages stay shared.
+            with open(self._memmap_path, "ab") as f:
+                np.ascontiguousarray(rows, dtype=np.float32).tofile(f)
+                f.flush()
+                os.fsync(f.fileno())
+            self._data = self._open_memmap(
+                self._memmap_path, (first_new + rows.shape[0], self.dim))
+        else:
+            self._data = np.ascontiguousarray(np.vstack([self._data, rows]))
         return first_new
 
     def reset_ndc(self) -> int:

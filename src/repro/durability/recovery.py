@@ -175,6 +175,13 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
     M = int(config.get("M", 16))
     ef_construction = int(config.get("ef_construction", 100))
     seed = int(config.get("seed", 0))
+    # Compressed-mode settings persist with the store config so a recovered
+    # store serves the same PQ-resident hot path the original did (codes are
+    # re-fit at adopt time; they are derived state, not journaled).
+    compressed = bool(config.get("compressed", False)) and serving
+    pq_m = config.get("pq_m")
+    pq_ks = int(config.get("pq_ks", 32))
+    rerank = int(config.get("rerank", 50))
 
     snapshots = SnapshotManager(wal_dir)
     info = snapshots.latest()
@@ -198,7 +205,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             dim=dim or index.dc.dim, metric=metric or index.dc.metric,
             M=M, ef_construction=ef_construction, fix_config=fix_config,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
-            merge_every=merge_every)
+            merge_every=merge_every, compressed=compressed, pq_m=pq_m,
+            pq_ks=pq_ks, rerank=rerank)
         payloads = {}
         if info.payloads_path.exists():
             payloads = {int(k): v for k, v in json.loads(
@@ -220,7 +228,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             dim=int(config["dim"]), metric=config.get("metric", "cosine"),
             M=M, ef_construction=ef_construction, fix_config=fix_config,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
-            merge_every=merge_every)
+            merge_every=merge_every, compressed=compressed, pq_m=pq_m,
+            pq_ks=pq_ks, rerank=rerank)
         snap_seq = 0
         base_n = 0
 

@@ -46,7 +46,13 @@ _CHURN_MUTATIONS = OBS.counter(
 
 @dataclasses.dataclass
 class OperatingPoint:
-    """One point on an index's trade-off curve (one ef setting)."""
+    """One point on an index's trade-off curve (one ef setting).
+
+    ``ndc_per_query`` counts full-precision distance computations; on a
+    compressed (PQ) searcher it collapses to the exact re-rank budget while
+    ``adc_per_query`` carries the cheap table-lookup scorings (0.0 for
+    uncompressed indexes).
+    """
 
     ef: int
     recall: float
@@ -54,6 +60,7 @@ class OperatingPoint:
     qps: float
     ndc_per_query: float
     elapsed_s: float
+    adc_per_query: float = 0.0
 
 
 def evaluate_index(
@@ -91,6 +98,7 @@ def evaluate_index(
         c_ids = np.empty((stop - start, k), dtype=np.int64)
         c_d = np.empty((stop - start, k), dtype=np.float64)
         ndc0 = index.dc.ndc
+        adc0 = getattr(index, "adc_scored", 0)
         if batch_size > 1:
             results = index.search_batch(queries[start:stop], k, ef,
                                          batch_size=batch_size)
@@ -106,7 +114,10 @@ def evaluate_index(
                 c_d[i, m:] = np.inf
         ndc_delta = index.dc.ndc - ndc0
         index.dc.ndc = ndc0
-        return c_ids, c_d, ndc_delta
+        adc_delta = getattr(index, "adc_scored", 0) - adc0
+        if adc_delta:
+            index.adc_scored = adc0
+        return c_ids, c_d, ndc_delta, adc_delta
 
     workers = effective_workers(n_workers)
     if workers > 1:
@@ -118,10 +129,13 @@ def evaluate_index(
     chunks = parallel_map(run_chunk, bounds, n_workers=n_workers)
     elapsed = time.perf_counter() - start
     ndc = 0
-    for (c_start, c_stop), (c_ids, c_d, ndc_delta) in zip(bounds, chunks):
+    adc = 0
+    for (c_start, c_stop), (c_ids, c_d, ndc_delta, adc_delta) in zip(
+            bounds, chunks):
         found_ids[c_start:c_stop] = c_ids
         found_d[c_start:c_stop] = c_d
         ndc += ndc_delta
+        adc += adc_delta
 
     recall = float(recall_per_query(found_ids, gt_k.ids).mean())
     finite = np.isfinite(found_d).all(axis=1)
@@ -143,6 +157,7 @@ def evaluate_index(
         qps=qps,
         ndc_per_query=ndc / queries.shape[0],
         elapsed_s=elapsed,
+        adc_per_query=adc / queries.shape[0],
     )
 
 

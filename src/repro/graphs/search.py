@@ -289,41 +289,72 @@ class BatchSearchEngine:
         node is identical on either path, so results are unaffected.
     batch_size:
         Queries advanced together per block.
+    beam_width:
+        Candidates expanded per query per round.  The default 1 preserves
+        the sequential equivalence above exactly.  Widths above 1 expand the
+        ``beam_width`` closest in-bound candidates each round, which divides
+        the number of lock-step rounds (where the per-round Python overhead
+        lives) at the cost of some speculative scoring; the scored set is a
+        superset of the width-1 set, so with ``collect_visited`` re-ranking
+        the wider beam can only help recall.  Termination is unchanged: a
+        row finishes when its best unexpanded candidate exceeds the bound.
     """
 
     def __init__(self, dc, neighbors_fn, entry_points_fn, excluded_fn=None,
-                 batch_size: int = 32, graph_fn=None):
+                 batch_size: int = 32, graph_fn=None, beam_width: int = 1):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if beam_width <= 0:
+            raise ValueError(f"beam_width must be positive, got {beam_width}")
         self.dc = dc
         self.neighbors_fn = neighbors_fn
         self.entry_points_fn = entry_points_fn
         self.excluded_fn = excluded_fn
         self.graph_fn = graph_fn
         self.batch_size = batch_size
+        self.beam_width = beam_width
         self._visited = VisitedTable(1)
+        # Scratch for wide-beam intra-round dedup (see _search_block); holds
+        # last-writer positions, read back immediately, so no epoch needed.
+        self._dedup = np.empty(0, dtype=np.int32)
 
     def search_batch(self, queries: np.ndarray, k: int, ef: int,
-                     deadline: float | None = None) -> list[SearchResult]:
+                     deadline: float | None = None,
+                     collect_visited: bool = False,
+                     prepared: bool = False) -> list[SearchResult]:
         """Search all ``queries``; returns one :class:`SearchResult` per row.
 
         ``deadline`` (absolute ``time.perf_counter()``) applies to the whole
         batch: blocks check it each lock-step round and finalize their
         still-active rows best-so-far, flagged ``degraded``, once it passes.
+        ``collect_visited`` additionally records every (node, distance)
+        scored for each query — the batched counterpart of
+        :func:`greedy_search`'s flag, and what the compressed path re-ranks
+        from (the visited set is a strict superset of the ef-pool, so an
+        exact re-rank over it recovers recall the approximate ordering
+        lost, at zero extra traversal cost).  ``prepared`` marks the rows as
+        already passed through ``dc.prepare_query`` (the caller built the
+        matrix for its own use, e.g. ADC tables), skipping a second
+        per-row preparation pass.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if prepared:
+            queries = np.atleast_2d(np.asarray(queries))
+        else:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         out: list[SearchResult] = []
         for start in range(0, queries.shape[0], self.batch_size):
             out.extend(self._search_block(queries[start:start + self.batch_size],
-                                          k, max(ef, k), deadline))
+                                          k, max(ef, k), deadline,
+                                          collect_visited, prepared))
         return out
 
     def _search_block(self, block: np.ndarray, k: int, ef: int,
-                      deadline: float | None = None) -> list[SearchResult]:
+                      deadline: float | None = None,
+                      collect_visited: bool = False,
+                      prepared: bool = False) -> list[SearchResult]:
         dc = self.dc
-        n = dc.size
         n_queries = block.shape[0]
         telemetry = OBS.enabled
         if telemetry:
@@ -353,15 +384,29 @@ class BatchSearchEngine:
         else:
             excl_mask = None
 
-        prepared = [dc.prepare_query(q) for q in block]
-        qmat = np.array(prepared)
+        if prepared:
+            prep = list(block)
+            qmat = np.asarray(block)
+        else:
+            prep = [dc.prepare_query(q) for q in block]
+            qmat = np.array(prep)
+        # Block-scoped scoring state: an ADC computer (see
+        # repro.quantization.adc.ADCComputer) precomputes this block's
+        # per-query lookup tables here, after which every frontier gather is
+        # a table fancy-index instead of a full-precision kernel.  Runs
+        # before ``dc.size`` is read: the hook may sync freshly appended
+        # rows into the code matrix.
+        begin_block = getattr(dc, "begin_block", None)
+        if begin_block is not None:
+            begin_block(qmat)
+        n = dc.size
 
         visited = self._visited
         visited.grow(n_queries * n)
         visited.next_epoch()
 
         entry_lists = []
-        for q in prepared:
+        for q in prep:
             entries = np.unique(np.asarray(list(self.entry_points_fn(q)),
                                            dtype=np.int64))
             if entries.size == 0:
@@ -475,6 +520,11 @@ class BatchSearchEngine:
         visited.mark_many(e_rows * n + e_nodes)
         e_dists = dc.block_to_queries(e_nodes, qmat, e_rows).astype(
             np.float64, copy=False)
+        # Collection buffers hold original block positions (e_rows and
+        # fr_orig below), so row compaction in finish() never remaps them.
+        coll_rows = [e_rows] if collect_visited else None
+        coll_nodes = [e_nodes] if collect_visited else None
+        coll_d = [e_dists] if collect_visited else None
         merge_and_admit(e_rows, e_nodes, e_dists)
 
         int64_max = np.iinfo(np.int64).max
@@ -497,21 +547,42 @@ class BatchSearchEngine:
                 keep = ~done
                 sel_cols, best = sel_cols[keep], best[keep]
                 row_range = np.arange(alive.shape[0])
-            # Expand the (distance, id)-minimal unexpanded candidate per row.
-            # argmin picks the first minimal *column*; the sequential heap
-            # pops the smallest id among distance ties, so rows with more
-            # than one minimal entry are re-selected by id.
-            sel_nodes = pool_id[row_range, sel_cols]
-            ties = (pool_d == best[:, None]).sum(axis=1) > 1
-            if ties.any():
-                multi = np.flatnonzero(ties)
-                masked = np.where(pool_d[multi] == best[multi, None],
-                                  pool_id[multi], int64_max)
-                sel_nodes[multi] = masked.min(axis=1)
-                sel_cols[multi] = masked.argmin(axis=1)
-            pool_d[row_range, sel_cols] = np.inf
-            pool_id[row_range, sel_cols] = -1
-            hops += 1
+            if self.beam_width == 1:
+                # Expand the (distance, id)-minimal unexpanded candidate per
+                # row.  argmin picks the first minimal *column*; the
+                # sequential heap pops the smallest id among distance ties,
+                # so rows with more than one minimal entry are re-selected
+                # by id.
+                sel_nodes = pool_id[row_range, sel_cols]
+                ties = (pool_d == best[:, None]).sum(axis=1) > 1
+                if ties.any():
+                    multi = np.flatnonzero(ties)
+                    masked = np.where(pool_d[multi] == best[multi, None],
+                                      pool_id[multi], int64_max)
+                    sel_nodes[multi] = masked.min(axis=1)
+                    sel_cols[multi] = masked.argmin(axis=1)
+                pool_d[row_range, sel_cols] = np.inf
+                pool_id[row_range, sel_cols] = -1
+                sel_rows = row_range
+                hops += 1
+            else:
+                # Wide beam: expand up to beam_width in-bound candidates per
+                # row in one round.  The done-check above guarantees each
+                # alive row has at least one (its best ≤ bound).
+                W = min(self.beam_width, cap)
+                bound = res_d[:, ef - 1]
+                part = np.argpartition(pool_d, W - 1, axis=1)[:, :W]
+                cand_d = pool_d[row_range[:, None], part]
+                # Finiteness matters: an unfilled result pool has bound inf,
+                # and inf <= inf would select empty (-1) pool slots.
+                valid = np.isfinite(cand_d) & (cand_d <= bound[:, None])
+                n_sel = valid.sum(axis=1)
+                sel_rows = np.repeat(row_range, n_sel)
+                sel_cols = part[valid]              # row-major, matches repeat
+                sel_nodes = pool_id[sel_rows, sel_cols]
+                pool_d[sel_rows, sel_cols] = np.inf
+                pool_id[sel_rows, sel_cols] = -1
+                hops += n_sel
 
             if graph is not None:
                 flat_nodes, counts = graph.neighbors_block(sel_nodes)
@@ -524,16 +595,45 @@ class BatchSearchEngine:
                 if not counts.sum():
                     continue
                 flat_nodes = np.concatenate(neigh)
-            flat_rows = np.repeat(row_range, counts)
+            flat_rows = np.repeat(sel_rows, counts)
             fresh = visited.filter_unvisited(alive[flat_rows] * n + flat_nodes)
             if not fresh.size:
                 continue
+            if self.beam_width > 1 and sel_rows.shape[0] > alive.shape[0]:
+                # Two expansions of the same row can share a neighbor within
+                # one round; filter_unvisited marks after masking, so such
+                # duplicates survive it and must be collapsed.  Scatter each
+                # key's position into the scratch buffer (last writer wins)
+                # and keep only positions that read back — O(n), no sort.
+                if self._dedup.shape[0] < n_queries * n:
+                    self._dedup = np.empty(n_queries * n, dtype=np.int32)
+                pos = np.arange(fresh.shape[0], dtype=np.int32)
+                self._dedup[fresh] = pos
+                keep_f = self._dedup[fresh] == pos
+                if not keep_f.all():
+                    fresh = fresh[keep_f]
             fr_orig = fresh // n                      # original block position
             fr_nodes = fresh - fr_orig * n
             fr_rows = np.searchsorted(alive, fr_orig)  # alive is sorted
             dists = dc.block_to_queries(fr_nodes, qmat, fr_orig).astype(
                 np.float64, copy=False)
+            if collect_visited:
+                coll_rows.append(fr_orig)
+                coll_nodes.append(fr_nodes)
+                coll_d.append(dists)
             merge_and_admit(fr_rows, fr_nodes, dists)
+
+        if collect_visited:
+            rows_all = np.concatenate(coll_rows)
+            order = np.argsort(rows_all, kind="stable")
+            nodes_all = np.concatenate(coll_nodes)[order]
+            d_all = np.concatenate(coll_d)[order]
+            offsets = np.concatenate(
+                ([0], np.cumsum(np.bincount(rows_all, minlength=n_queries))))
+            for i in range(n_queries):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                final[i].visited_ids = nodes_all[lo:hi]
+                final[i].visited_distances = d_all[lo:hi]
 
         if telemetry:
             _BATCH_BLOCKS.inc()

@@ -115,13 +115,21 @@ def save_index(obj, path: str | pathlib.Path) -> pathlib.Path:
     return path
 
 
-def load_index(path: str | pathlib.Path, index_cls=None) -> FrozenIndex:
+def load_index(path: str | pathlib.Path, index_cls=None,
+               memmap_dir: str | pathlib.Path | None = None) -> FrozenIndex:
     """Reload a saved index as a searchable :class:`FrozenIndex`.
 
     ``index_cls`` optionally substitutes the reconstructed class — any
     ``(data, metric, entry)`` callable returning a :class:`FrozenIndex`
     subclass (recovery uses this to load snapshots as a
     :class:`~repro.durability.recovery.ReplayableIndex`).
+
+    ``memmap_dir`` enables the disk-resident vector tier: after
+    reconstruction the base matrix is spilled to
+    ``<memmap_dir>/<stem>.vecs`` and served through ``np.memmap`` (see
+    :meth:`~repro.distances.DistanceComputer.use_memmap`), so steady-state
+    RSS excludes the raw vectors.  Loading still decompresses the matrix
+    once (npz holds it inline); only the serving footprint shrinks.
     """
     path = pathlib.Path(path)
     if index_cls is None:
@@ -143,4 +151,6 @@ def load_index(path: str | pathlib.Path, index_cls=None) -> FrozenIndex:
         index.adjacency.tombstones.update(int(t) for t in payload["tombstones"])
         if "removed" in payload:  # absent in pre-compaction-aware artifacts
             index.adjacency.removed.update(int(t) for t in payload["removed"])
+    if memmap_dir is not None:
+        index.dc.use_memmap(pathlib.Path(memmap_dir) / f"{path.stem}.vecs")
     return index

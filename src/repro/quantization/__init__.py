@@ -10,13 +10,20 @@ table lookups over PQ codes, followed by exact re-ranking of the shortlist.
 
 from repro.quantization.kmeans import kmeans
 from repro.quantization.pq import ProductQuantizer
-from repro.quantization.searcher import PQRerankSearcher, pq_greedy_search
+from repro.quantization.adc import ADCComputer
+from repro.quantization.searcher import (PQRerankSearcher, exact_rerank,
+                                         fallback_shortlist, pq_greedy_search,
+                                         visited_shortlist)
 from repro.quantization.ivf import IVFFlat
 
 __all__ = [
     "kmeans",
     "ProductQuantizer",
+    "ADCComputer",
     "PQRerankSearcher",
     "pq_greedy_search",
+    "exact_rerank",
+    "fallback_shortlist",
+    "visited_shortlist",
     "IVFFlat",
 ]

@@ -116,6 +116,30 @@ class ProductQuantizer:
                 table[j] = -(self.codebooks[j] @ sub_q[j])
         return table
 
+    def adc_tables(self, queries: np.ndarray) -> np.ndarray:
+        """ADC tables for a block of prepared queries, shape (B, m, ks).
+
+        The batched counterpart of :meth:`adc_table`: one einsum per metric
+        builds every query's per-subspace lookup table at once, which is what
+        lets the batch engine amortize table construction over a whole block.
+        Row ``b`` equals ``adc_table(queries[b])`` up to floating-point
+        accumulation order (the per-subspace reductions run over the same
+        ``d_sub`` axis, so in practice the tables agree to float32 rounding).
+        """
+        self._require_fitted()
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"expected (B, {self.dim}) queries, got shape {queries.shape}")
+        sub_q = queries.reshape(queries.shape[0], self.m, -1)  # (B, m, d_sub)
+        if self.metric is Metric.L2:
+            # (B, m, ks, d_sub) broadcast diff; small because d_sub = dim/m.
+            diff = sub_q[:, :, None, :] - self.codebooks[None, :, :, :]
+            table = np.einsum("bmkd,bmkd->bmk", diff, diff)
+        else:
+            table = -np.einsum("bmd,mkd->bmk", sub_q, self.codebooks)
+        return table.astype(np.float64, copy=False)
+
     def adc_distances(self, codes: np.ndarray, table: np.ndarray) -> np.ndarray:
         """Approximate distances of coded vectors to the table's query."""
         codes = np.asarray(codes, dtype=np.int64)

@@ -5,16 +5,26 @@ the (possibly NGFix*-fixed) graph scores candidates with ``m`` ADC table
 lookups instead of a full d-dimensional distance, then the shortlist is
 re-ranked exactly.  Full-precision NDC drops to the re-rank budget; the
 cheap lookups are counted separately so benches can report both.
+
+Two traversal paths share the machinery: :func:`pq_greedy_search` is the
+sequential beam (mirroring :func:`~repro.graphs.search.greedy_search`'s
+entry handling, visited bookkeeping, tombstone traversal, and deadline
+degradation), and :class:`PQRerankSearcher.search_batch` drives the
+lock-step :class:`~repro.graphs.search.BatchSearchEngine` over an
+:class:`~repro.quantization.adc.ADCComputer`, so the whole frontier of a
+query block is scored with one table gather per hop.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 
 import numpy as np
 
 from repro.distances import DistanceComputer
-from repro.graphs.search import SearchResult, VisitedTable
+from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable
+from repro.quantization.adc import ADCComputer
 from repro.quantization.pq import ProductQuantizer
 from repro.utils.validation import check_positive
 
@@ -29,23 +39,41 @@ def pq_greedy_search(
     ef: int,
     visited: VisitedTable | None = None,
     excluded: set[int] | None = None,
-) -> tuple[np.ndarray, int]:
+    deadline: float | None = None,
+) -> tuple[np.ndarray, int, bool]:
     """Greedy beam search scored entirely by ADC lookups.
 
-    Returns (candidate ids best-first, number of ADC scorings).  Distances
-    are approximate, so callers re-rank the output exactly.
+    Returns ``(candidate ids best-first, number of ADC scorings,
+    degraded)``.  Distances are approximate, so callers re-rank the output
+    exactly.  The returned candidates are *every* node the beam scored (not
+    just the final ef-pool), ordered by ADC distance: the visited set is a
+    strict superset of the pool, so re-ranking a shortlist of it recovers
+    recall the approximate ordering lost without widening the beam — the
+    OOD-DiskANN recipe.  Entry handling mirrors
+    :func:`~repro.graphs.search.greedy_search`: excluded (tombstoned)
+    entries still seed the traversal — they navigate but never surface —
+    and a reused visited table is regrown to the code matrix before
+    stamping, so searches stay valid after incremental inserts.
+    ``deadline`` (absolute ``time.perf_counter()``) stops the expansion
+    best-so-far once it passes.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     ef = max(ef, k)
     if visited is None:
         visited = VisitedTable(codes.shape[0])
+    # A reused table may predate incremental insertion; without this,
+    # stamping new node ids raises IndexError (same fix as greedy_search).
+    visited.grow(codes.shape[0])
     visited.next_epoch()
 
     entry_ids = np.unique(np.asarray(list(entry_points), dtype=np.int64))
-    visited._stamps[entry_ids] = visited._version
+    if entry_ids.size == 0:
+        raise ValueError("at least one entry point is required")
+    visited.mark_many(entry_ids)
     entry_d = pq.adc_distances(codes[entry_ids], table)
     n_scored = int(entry_ids.size)
+    all_ids, all_d = [entry_ids], [entry_d]
 
     candidates: list[tuple[float, int]] = []
     results: list[tuple[float, int]] = []
@@ -56,7 +84,11 @@ def pq_greedy_search(
     while len(results) > ef:
         heapq.heappop(results)
 
+    degraded = False
     while candidates:
+        if deadline is not None and time.perf_counter() > deadline:
+            degraded = True
+            break
         dist_u, u = heapq.heappop(candidates)
         if len(results) >= ef and dist_u > -results[0][0]:
             break
@@ -68,6 +100,8 @@ def pq_greedy_search(
             continue
         dists = pq.adc_distances(codes[fresh], table)
         n_scored += int(fresh.size)
+        all_ids.append(fresh)
+        all_d.append(dists)
         for node, dist in zip(fresh.tolist(), dists.tolist()):
             if len(results) >= ef and dist >= -results[0][0]:
                 continue
@@ -77,8 +111,103 @@ def pq_greedy_search(
                 if len(results) > ef:
                     heapq.heappop(results)
 
-    ordered = sorted((-d, node) for d, node in results)
-    return np.array([node for _, node in ordered], dtype=np.int64), n_scored
+    ids = np.concatenate(all_ids)
+    d = np.concatenate(all_d)
+    if excluded:
+        keep = np.fromiter((int(i) not in excluded for i in ids),
+                           dtype=bool, count=ids.shape[0])
+        ids, d = ids[keep], d[keep]
+    order = np.lexsort((ids, d))  # distance-then-id, matching the heap order
+    return ids[order], n_scored, degraded
+
+
+def visited_shortlist(ids: np.ndarray, dists: np.ndarray,
+                      excluded: set[int] | None, budget: int) -> np.ndarray:
+    """Top-``budget`` non-excluded visited nodes by ADC distance.
+
+    The batched counterpart of :func:`pq_greedy_search`'s output: excluded
+    (tombstoned/removed) nodes navigated during traversal but must never
+    reach the exact re-rank, and of what remains only the ``budget``
+    ADC-best are worth full-precision distances.
+    """
+    if ids is None or ids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if excluded:
+        keep = np.fromiter((int(i) not in excluded for i in ids),
+                           dtype=bool, count=ids.shape[0])
+        ids, dists = ids[keep], dists[keep]
+        if ids.size == 0:
+            return ids.astype(np.int64)
+    if ids.size <= budget:
+        return ids.astype(np.int64, copy=False)
+    part = np.argpartition(dists, budget - 1)[:budget]
+    return ids[part].astype(np.int64, copy=False)
+
+
+def fallback_shortlist(adc: ADCComputer, table: np.ndarray,
+                       excluded: set[int] | None, budget: int) -> np.ndarray:
+    """Brute-force ADC shortlist for a traversal that surfaced nothing.
+
+    When every entry point is tombstoned/removed *and* edgeless (compaction
+    without entry relocation), the beam can terminate empty.  Rather than
+    returning nothing, scan the resident code matrix — still no
+    full-precision touches — and return the ``budget`` best non-excluded
+    ids.  Excluded ids never surface; an all-excluded index yields an empty
+    shortlist (nothing is servable).
+    """
+    scores = adc.all_scores(table)
+    if excluded:
+        keep = np.ones(scores.shape[0], dtype=bool)
+        excl = np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+        keep[excl[excl < scores.shape[0]]] = False
+        candidates = np.flatnonzero(keep)
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        scores = scores[candidates]
+    else:
+        candidates = None
+    budget = min(budget, scores.shape[0])
+    part = np.argpartition(scores, budget - 1)[:budget]
+    order = part[np.argsort(scores[part], kind="stable")]
+    return (order if candidates is None else candidates[order]).astype(np.int64)
+
+
+def exact_rerank(dc: DistanceComputer, qmat: np.ndarray,
+                 shortlists: list[np.ndarray], k: int,
+                 degraded: list[bool] | None = None,
+                 hops: list[int] | None = None) -> tuple[list[SearchResult], int]:
+    """Exact re-rank of per-query ADC shortlists in one block gather.
+
+    The only full-precision touches of the compressed path: all shortlist
+    rows across the block are gathered with a single
+    :meth:`~repro.distances.DistanceComputer.block_to_queries` call (one
+    lazy page-in pass when ``dc`` is memmap-backed), then each query keeps
+    its ``k`` exactly-nearest.  Returns ``(results, exact_ndc)``.
+    """
+    counts = np.fromiter((s.size for s in shortlists), dtype=np.int64,
+                         count=len(shortlists))
+    total = int(counts.sum())
+    if total == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_d = np.empty(0, dtype=np.float64)
+        return ([SearchResult(ids=empty_i, distances=empty_d,
+                              degraded=bool(degraded[i]) if degraded else False)
+                 for i in range(len(shortlists))], 0)
+    flat = np.concatenate([s for s in shortlists if s.size])
+    owners = np.repeat(np.arange(len(shortlists), dtype=np.int64), counts)
+    exact = dc.block_to_queries(flat, qmat, owners).astype(np.float64,
+                                                           copy=False)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    out: list[SearchResult] = []
+    for i in range(len(shortlists)):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        d, ids_row = exact[lo:hi], flat[lo:hi]
+        order = np.argsort(d, kind="stable")[:k]
+        out.append(SearchResult(
+            ids=ids_row[order], distances=d[order],
+            n_hops=int(hops[i]) if hops else 0,
+            degraded=bool(degraded[i]) if degraded else False))
+    return out, total
 
 
 class PQRerankSearcher:
@@ -93,46 +222,154 @@ class PQRerankSearcher:
         A quantizer; fitted on the index's base data if not already.
     rerank:
         Shortlist size re-scored with exact distances (>= k at search).
+    beam_width:
+        Engine candidates expanded per query per round on the batched path.
+        ADC scoring is cheap enough that a wide beam pays: rounds (where the
+        lock-step engine's per-round overhead lives) shrink ~beam_width-fold
+        while the enlarged visited set feeds the exact re-rank.  Width 1
+        reproduces the uncompressed engine's expansion order exactly.
+
+    The searcher stays valid across store mutations: codes are re-encoded
+    incrementally (only rows appended since the last search) and the
+    visited table regrows, so add → search → delete → search works without
+    rebuilding.  Tombstoned/removed ids are excluded from results on both
+    the sequential and batched paths.
     """
 
     def __init__(self, index, pq: ProductQuantizer | None = None,
-                 rerank: int = 50):
+                 rerank: int = 50, beam_width: int = 4):
         check_positive(rerank, "rerank")
+        check_positive(beam_width, "beam_width")
         self.index = index
         self.rerank = rerank
-        self.pq = pq or ProductQuantizer(
-            m=self._default_m(index.dc), metric=index.dc.metric)
-        if not self.pq.is_fitted:
-            self.pq.fit(index.dc.data)
-        self.codes = self.pq.encode(index.dc.data)
+        self.beam_width = beam_width
+        if pq is None:
+            pq = ProductQuantizer(m=ADCComputer._default_m(index.dc.dim),
+                                  metric=index.dc.metric)
+        self.adc = ADCComputer(index.dc, pq)
+        self.pq = self.adc.pq
         self._visited = VisitedTable(index.dc.size)
-        self.adc_scored = 0  # cumulative cheap scorings
+        self._engine: BatchSearchEngine | None = None
+        self.adc_scored = 0   # cumulative cheap scorings
+        self.rerank_ndc = 0   # cumulative exact re-rank distance comps
 
-    @staticmethod
-    def _default_m(dc: DistanceComputer) -> int:
-        for m in (8, 6, 4, 3, 2, 1):
-            if dc.dim % m == 0:
-                return m
-        return 1
+    @property
+    def codes(self) -> np.ndarray:
+        """The (incrementally synced) uint8 code matrix."""
+        return self.adc.codes
 
     @property
     def dc(self):
         return self.index.dc
 
-    def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
+    def sync(self) -> int:
+        """Re-encode vectors appended since the last search (incremental)."""
+        return self.adc.sync()
+
+    # -- sequential path -----------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int, ef: int | None = None,
+               deadline: float | None = None) -> SearchResult:
         """Approximate traversal, exact re-rank; exact NDC = rerank budget."""
         if ef is None:
             ef = max(k, 10)
         q = self.dc.prepare_query(query)
-        table = self.pq.adc_table(q)
+        table = self.adc.begin_query(q)  # syncs codes first
+        budget = max(self.rerank, k)
         excluded = self.index.adjacency.excluded_ids()
-        shortlist, n_scored = pq_greedy_search(
-            self.pq, self.codes, self.index.adjacency.neighbors,
-            self.index.entry_points(q), table, k=max(self.rerank, k),
-            ef=max(ef, self.rerank), visited=self._visited, excluded=excluded)
+        # The shortlist draws from everything the beam scored, so the beam
+        # itself runs at the caller's ef — the re-rank budget does not
+        # widen the traversal.
+        shortlist, n_scored, degraded = pq_greedy_search(
+            self.pq, self.adc.codes, self.index.adjacency.neighbors,
+            self.index.entry_points(q), table, k=k,
+            ef=max(ef, k), visited=self._visited, excluded=excluded,
+            deadline=deadline)
         self.adc_scored += n_scored
-        shortlist = shortlist[: max(self.rerank, k)]
+        shortlist = shortlist[:budget]
+        if shortlist.size == 0:
+            shortlist = fallback_shortlist(self.adc, table, excluded, budget)
+            self.adc_scored += self.adc.codes.shape[0]
+        if shortlist.size == 0:
+            return SearchResult(ids=np.empty(0, dtype=np.int64),
+                                distances=np.empty(0, dtype=np.float64),
+                                degraded=degraded)
         exact = self.dc.to_query(shortlist, q)
+        self.rerank_ndc += int(shortlist.size)
         order = np.argsort(exact, kind="stable")[:k]
         return SearchResult(ids=shortlist[order],
-                            distances=exact[order].astype(np.float64))
+                            distances=exact[order].astype(np.float64),
+                            degraded=degraded)
+
+    # -- batched path --------------------------------------------------------
+
+    def _batch_engine(self, batch_size: int) -> BatchSearchEngine:
+        engine = self._engine
+        if (engine is None or engine.batch_size != batch_size
+                or engine.beam_width != self.beam_width):
+            engine = BatchSearchEngine(
+                self.adc,
+                self.index.adjacency.neighbors,
+                self.index.entry_points,
+                excluded_fn=self.index.adjacency.excluded_ids,
+                batch_size=batch_size,
+                graph_fn=self.index.adjacency.traversal,
+                beam_width=self.beam_width,
+            )
+            self._engine = engine
+        return engine
+
+    def search_batch(self, queries: np.ndarray, k: int, ef: int | None = None,
+                     batch_size: int = 32,
+                     deadline: float | None = None) -> list[SearchResult]:
+        """Batched ADC traversal + one exact re-rank gather per batch.
+
+        The lock-step engine runs entirely over the code matrix (its
+        ``begin_block`` hook precomputes the block's ADC tables); the final
+        shortlists are re-ranked with a single full-precision block gather.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if ef is None:
+            ef = max(k, 10)
+        budget = max(self.rerank, k)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        adc0 = self.adc.ndc
+        qmat = np.array([self.dc.prepare_query(q) for q in queries])
+        # The beam runs at the caller's ef; the shortlist is carved from the
+        # *visited* set (every ADC-scored node), so a large re-rank budget
+        # costs exact distance computations, not traversal width.
+        approx = self._batch_engine(batch_size).search_batch(
+            qmat, k=k, ef=max(ef, k), deadline=deadline,
+            collect_visited=True, prepared=True)
+        excluded = self.index.adjacency.excluded_ids()
+        shortlists = [
+            visited_shortlist(r.visited_ids, r.visited_distances,
+                              excluded, budget)
+            for r in approx]
+        empties = [i for i, s in enumerate(shortlists) if s.size == 0]
+        if empties:
+            for i in empties:
+                table = self.pq.adc_table(qmat[i])
+                shortlists[i] = fallback_shortlist(self.adc, table,
+                                                   excluded, budget)
+        results, exact_ndc = exact_rerank(
+            self.dc, qmat, shortlists, k,
+            degraded=[r.degraded for r in approx],
+            hops=[r.n_hops for r in approx])
+        self.adc_scored += self.adc.ndc - adc0
+        self.rerank_ndc += exact_ndc
+        return results
+
+    def search_many(self, queries: np.ndarray, k: int, ef: int | None = None,
+                    batch_size: int = 32) -> tuple[np.ndarray, np.ndarray]:
+        """Batched search returning padded (ids, distances) arrays."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+        distances = np.full((queries.shape[0], k), np.inf)
+        results = self.search_batch(queries, k, ef, batch_size=batch_size)
+        for i, result in enumerate(results):
+            m = min(k, len(result.ids))
+            ids[i, :m] = result.ids[:m]
+            distances[i, :m] = result.distances[:m]
+        return ids, distances

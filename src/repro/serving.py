@@ -49,6 +49,8 @@ from repro.faults import FAULTS
 from repro.graphs.csr import CSRGraphView
 from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable, greedy_search
 from repro.obs import OBS, SECONDS_BUCKETS, TRACES, QueryTrace
+from repro.quantization.searcher import (exact_rerank, fallback_shortlist,
+                                         pq_greedy_search, visited_shortlist)
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -80,6 +82,17 @@ _BULK_ABORTS = OBS.counter(
 _DEGRADED = OBS.counter(
     "serving_degraded_searches",
     "searches that returned best-so-far after a deadline budget expired")
+_COMPRESSED_QUERIES = OBS.counter(
+    "serving_compressed_queries",
+    "queries served through the compressed (ADC + exact re-rank) path")
+_ADC_SCORED = OBS.counter(
+    "pq_adc_scored", "ADC table-lookup scorings on the compressed path")
+_RERANK_NDC = OBS.histogram(
+    "pq_rerank_ndc",
+    "exact re-rank distance computations per compressed search")
+_PAGEIN_SECONDS = OBS.counter(
+    "memmap_pagein_seconds",
+    "wall-clock spent gathering (possibly disk-resident) rows for re-rank")
 _OBSERVE_SHED = OBS.counter(
     "maintenance_observe_shed",
     "observe() calls shed by admission control (queue saturated/worker dead)")
@@ -430,16 +443,34 @@ class ServingSearcher:
     query path never touches the store's dynamic lists, its refreeze
     hysteresis, or the O(E) ``freeze`` — epoch-consistency and wait-freedom
     come from the pin.
+
+    **Compressed mode.**  When an :class:`~repro.quantization.adc.ADCComputer`
+    is attached (``adc=``), traversal scoring runs over its resident uint8
+    code matrix — ADC table lookups instead of full-precision rows — and
+    only the top-``rerank`` shortlist is re-scored exactly against ``dc``.
+    With a memmap-backed ``dc`` the raw vectors stay on disk and the
+    re-rank gather is the only thing that pages them in.  Tombstone/removed
+    exclusion, ``deadline_ms`` degradation, and epoch pinning behave
+    identically to the uncompressed path.
     """
 
-    def __init__(self, fixer, manager: EpochManager, batch_size: int = 32):
+    def __init__(self, fixer, manager: EpochManager, batch_size: int = 32,
+                 adc=None, rerank: int = 50, beam_width: int = 4):
         self.fixer = fixer
         self.manager = manager
+        self.adc = adc
+        self.rerank = rerank
+        # Wide beam only pays where scoring is cheap (ADC); the
+        # full-precision engine keeps width 1 (sequential equivalence).
+        self.beam_width = beam_width if adc is not None else 1
         self._visited = VisitedTable(fixer.dc.size)
         self._engine: BatchSearchEngine | None = None
         self._engine_batch = batch_size
         self._block_pin: EpochPin | None = None
         self.n_degraded = 0
+        self.adc_scored = 0     # cumulative ADC scorings (compressed mode)
+        self.rerank_ndc = 0     # cumulative exact re-rank computations
+        self.pagein_seconds = 0.0  # re-rank gather wall-clock (memmap timing)
         # Telemetry hook: the owning store points this at its scheduler's
         # queue so per-query traces carry the repair backlog.
         self.queue_depth_fn = None
@@ -447,6 +478,61 @@ class ServingSearcher:
     @property
     def dc(self):
         return self.fixer.dc
+
+    @property
+    def compressed(self) -> bool:
+        return self.adc is not None
+
+    def _rerank_exact(self, shortlist: np.ndarray, q: np.ndarray, k: int,
+                      degraded: bool) -> SearchResult:
+        """Exact re-rank of one shortlist; the path's only full-dim touches."""
+        t0 = time.perf_counter()
+        if shortlist.size:
+            exact = self.dc.to_query(shortlist, q)
+            order = np.argsort(exact, kind="stable")[:k]
+            result = SearchResult(ids=shortlist[order],
+                                  distances=exact[order].astype(np.float64),
+                                  degraded=degraded)
+        else:
+            result = SearchResult(ids=np.empty(0, dtype=np.int64),
+                                  distances=np.empty(0, dtype=np.float64),
+                                  degraded=degraded)
+        elapsed = time.perf_counter() - t0
+        self.rerank_ndc += int(shortlist.size)
+        self.pagein_seconds += elapsed
+        if OBS.enabled:
+            _RERANK_NDC.observe(int(shortlist.size))
+            _PAGEIN_SECONDS.inc(elapsed)
+        return result
+
+    def _search_compressed(self, q: np.ndarray, k: int, ef: int,
+                           deadline: float | None
+                           ) -> tuple[SearchResult, tuple[int, int, float]]:
+        """Sequential compressed search against a pinned epoch view."""
+        budget = max(self.rerank, k)
+        with self.manager.pin() as pin:
+            view = pin.view
+            table = self.adc.begin_query(q)  # syncs codes incrementally
+            excluded = view.excluded()
+            # The beam runs at the caller's ef; the shortlist draws from all
+            # visited (ADC-scored) nodes, so the re-rank budget costs exact
+            # distances only, not traversal width.
+            shortlist, n_scored, degraded = pq_greedy_search(
+                self.adc.pq, self.adc.codes, view, [pin.epoch.entry], table,
+                k=k, ef=max(ef, k), visited=self._visited,
+                excluded=excluded, deadline=deadline)
+            shortlist = shortlist[:budget]
+            if shortlist.size == 0:
+                shortlist = fallback_shortlist(self.adc, table, excluded,
+                                               budget)
+                n_scored += self.adc.codes.shape[0]
+            self.adc_scored += n_scored
+            result = self._rerank_exact(shortlist, q, k, degraded)
+            if OBS.enabled:
+                _COMPRESSED_QUERIES.inc()
+                _ADC_SCORED.inc(n_scored)
+            trace = (pin.epoch.epoch_id, view.seq, pin.age())
+        return result, trace
 
     def search(self, query: np.ndarray, k: int, ef: int | None = None,
                collect_visited: bool = False,
@@ -469,6 +555,23 @@ class ServingSearcher:
         if telemetry:
             t0 = time.perf_counter()
             ndc0 = dc.ndc
+        if self.adc is not None:
+            result, (epoch_id, seq, pin_s) = self._search_compressed(
+                q, k, ef, deadline)
+            if result.degraded:
+                self.n_degraded += 1
+                _DEGRADED.inc()
+            if telemetry:
+                _SERVE_QUERIES.inc()
+                TRACES.record(QueryTrace(
+                    k=k, ef=ef, n_hops=result.n_hops, ndc=dc.ndc - ndc0,
+                    frontier_peak=result.frontier_peak,
+                    epoch_id=epoch_id, overlay_seq=seq, pin_seconds=pin_s,
+                    elapsed_seconds=time.perf_counter() - t0,
+                    queue_depth=(self.queue_depth_fn()
+                                 if self.queue_depth_fn is not None else 0),
+                ))
+            return result
         with self.manager.pin() as pin:
             view = pin.view
             result = greedy_search(
@@ -519,20 +622,28 @@ class ServingSearcher:
             ef = max(k, 10)
         deadline = (None if deadline_ms is None
                     else time.perf_counter() + deadline_ms / 1000.0)
+        compressed = self.adc is not None
         engine = self._engine
-        if engine is None or engine.batch_size != batch_size:
+        if (engine is None or engine.batch_size != batch_size
+                or engine.beam_width != self.beam_width):
             engine = BatchSearchEngine(
-                self.dc,
+                self.adc if compressed else self.dc,
                 # Fallback never used: graph_fn always supplies a view.
                 lambda u: self._block_pin.view(u),
                 lambda q: [self._block_pin.epoch.entry],
                 excluded_fn=self._block_excluded,
                 batch_size=batch_size,
                 graph_fn=self._pin_block,
+                beam_width=self.beam_width,
             )
             self._engine = engine
         try:
-            results = engine.search_batch(queries, k, ef, deadline=deadline)
+            if compressed:
+                results = self._search_batch_compressed(engine, queries, k,
+                                                        ef, deadline)
+            else:
+                results = engine.search_batch(queries, k, ef,
+                                              deadline=deadline)
             if deadline is not None:
                 n_degraded = sum(1 for r in results if r.degraded)
                 if n_degraded:
@@ -543,6 +654,50 @@ class ServingSearcher:
             if self._block_pin is not None:
                 self._block_pin.release()
                 self._block_pin = None
+
+    def _search_batch_compressed(self, engine: BatchSearchEngine,
+                                 queries: np.ndarray, k: int, ef: int,
+                                 deadline: float | None) -> list[SearchResult]:
+        """Batched ADC traversal over pinned views + one exact re-rank gather."""
+        budget = max(self.rerank, k)
+        adc0 = self.adc.ndc
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        qmat = np.array([self.dc.prepare_query(q) for q in queries])
+        # Beam at the caller's ef; shortlists carved from the visited set
+        # (see PQRerankSearcher.search_batch for the rationale).
+        approx = engine.search_batch(qmat, k=k, ef=max(ef, k),
+                                     deadline=deadline, collect_visited=True,
+                                     prepared=True)
+        # Live exclusion set (superset of any pinned view's): neither the
+        # shortlist nor the fallback scan may surface a tombstoned/removed
+        # id.
+        excluded = self.fixer.adjacency.excluded_ids()
+        shortlists = [
+            visited_shortlist(r.visited_ids, r.visited_distances,
+                              excluded, budget)
+            for r in approx]
+        empties = [i for i, s in enumerate(shortlists) if s.size == 0]
+        if empties:
+            for i in empties:
+                table = self.adc.pq.adc_table(qmat[i])
+                shortlists[i] = fallback_shortlist(self.adc, table,
+                                                   excluded, budget)
+        t0 = time.perf_counter()
+        results, exact_ndc = exact_rerank(
+            self.dc, qmat, shortlists, k,
+            degraded=[r.degraded for r in approx],
+            hops=[r.n_hops for r in approx])
+        elapsed = time.perf_counter() - t0
+        n_scored = self.adc.ndc - adc0
+        self.adc_scored += n_scored
+        self.rerank_ndc += exact_ndc
+        self.pagein_seconds += elapsed
+        if OBS.enabled:
+            _COMPRESSED_QUERIES.inc(queries.shape[0])
+            _ADC_SCORED.inc(n_scored)
+            _RERANK_NDC.observe(exact_ndc)
+            _PAGEIN_SECONDS.inc(elapsed)
+        return results
 
     def search_many(self, queries: np.ndarray, k: int, ef: int | None = None,
                     batch_size: int = 32) -> tuple[np.ndarray, np.ndarray]:

@@ -29,6 +29,8 @@ from repro.durability.snapshot import SnapshotInfo, SnapshotManager, atomic_writ
 from repro.durability.wal import WriteAheadLog
 from repro.graphs.hnsw import HNSW
 from repro.io import load_index, save_index
+from repro.quantization.adc import ADCComputer
+from repro.quantization.pq import ProductQuantizer
 from repro.serving import EpochManager, MaintenanceScheduler, ServingSearcher
 from repro.utils.validation import check_positive
 
@@ -81,6 +83,23 @@ class VectorStore:
     checkpoint_every:
         Automatic checkpoint cadence in WAL records (0 = manual
         :meth:`checkpoint` only).
+    compressed:
+        When True, serving runs the PQ-resident hot path: traversal scores
+        candidates with ADC table lookups over a resident uint8 code matrix
+        (re-encoded incrementally on insert) and only the top-``rerank``
+        shortlist touches full-precision vectors.  Requires ``serving``.
+    pq_m, pq_ks:
+        Product-quantizer geometry for compressed mode: subspace count
+        (``None`` = largest of 8/6/4/3/2/1 dividing ``dim``) and centroids
+        per codebook.
+    rerank:
+        Exact re-rank budget of the compressed path (shortlist length
+        re-scored with full-precision distances; >= k at search time).
+    memmap_path:
+        When set, :meth:`build` spills the raw vector matrix to this file
+        and serves it through ``np.memmap`` — the disk-resident vector
+        tier.  With ``compressed`` the traversal never touches it; only
+        re-rank gathers page rows in.
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
@@ -89,12 +108,27 @@ class VectorStore:
                  serving: bool = True, scheduler_mode: str = "inline",
                  merge_every: int = 256,
                  wal_dir: str | pathlib.Path | None = None,
-                 sync_every: int = 8, checkpoint_every: int = 0):
+                 sync_every: int = 8, checkpoint_every: int = 0,
+                 compressed: bool = False, pq_m: int | None = None,
+                 pq_ks: int = 32, rerank: int = 50,
+                 memmap_path: str | pathlib.Path | None = None):
         check_positive(dim, "dim")
+        if compressed and not serving:
+            raise ValueError(
+                "compressed=True runs through the serving layer; it cannot "
+                "be combined with serving=False (use PQRerankSearcher "
+                "directly for unserved PQ search)")
         self.dim = dim
         self.metric = Metric.parse(metric)
         self._build_params = dict(M=M, ef_construction=ef_construction,
                                   single_layer=True, seed=seed)
+        self._compressed = compressed
+        self._pq_m = pq_m
+        self._pq_ks = pq_ks
+        self._rerank = rerank
+        self._memmap_path = (None if memmap_path is None
+                             else pathlib.Path(memmap_path))
+        self._adc: ADCComputer | None = None
         self.fix_config = fix_config or FixConfig(preprocess="approx")
         self._payloads: dict[int, Any] = {}
         self._pending: list[np.ndarray] = []
@@ -134,6 +168,9 @@ class VectorStore:
             "merge_every": self._merge_every,
             "sync_every": sync_every,
             "checkpoint_every": self._checkpoint_every,
+            "compressed": self._compressed,
+            "pq_m": self._pq_m, "pq_ks": self._pq_ks,
+            "rerank": self._rerank,
         }))
         self._wal = WriteAheadLog(wal_dir, sync_every=sync_every)
         self._snapshots = SnapshotManager(wal_dir)
@@ -203,11 +240,13 @@ class VectorStore:
             # order relative to the scheduler's own observe/merge records.
             with self._scheduler.write_lock, self._deferred_merge_notify():
                 ids = self._maintainer.insert(vectors)
+                self._sync_codes()
                 if self._wal is not None:
                     self._wal.log_insert(ids[0] if ids else 0, vectors,
                                          payloads)
         else:
             ids = self._maintainer.insert(vectors)
+            self._sync_codes()
             if self._wal is not None:
                 self._wal.log_insert(ids[0] if ids else 0, vectors, payloads)
         if payloads is not None:
@@ -216,6 +255,16 @@ class VectorStore:
         if self._wal is not None:
             self._maybe_checkpoint()
         return ids
+
+    def _sync_codes(self) -> None:
+        """Incrementally re-encode freshly inserted rows into the PQ codes.
+
+        Called on the insert path (inside the write lock under serving) so
+        the compressed searcher's code matrix always covers every published
+        node id; searches additionally lazy-sync as a safety net.
+        """
+        if self._adc is not None:
+            self._adc.sync()
 
     @contextlib.contextmanager
     def _deferred_merge_notify(self):
@@ -263,10 +312,21 @@ class VectorStore:
 
     def _attach_serving(self) -> None:
         """Stand up the epoch serving stack around the built index."""
+        if self._memmap_path is not None and not self._fixer.dc.is_memmap:
+            # Spill before fitting PQ codes so the encode pass streams from
+            # the file and steady-state RSS never includes the raw matrix.
+            self._fixer.dc.use_memmap(self._memmap_path)
         if not self._serving_enabled:
             return
+        if self._compressed:
+            pq = ProductQuantizer(
+                m=self._pq_m or ADCComputer._default_m(self.dim),
+                ks=self._pq_ks, metric=self.metric,
+                seed=self._build_params["seed"])
+            self._adc = ADCComputer(self._fixer.dc, pq)
         self._manager = EpochManager(self._fixer.adjacency, self._fixer.entry)
-        self._searcher = ServingSearcher(self._fixer, self._manager)
+        self._searcher = ServingSearcher(self._fixer, self._manager,
+                                         adc=self._adc, rerank=self._rerank)
         self._scheduler = MaintenanceScheduler(
             self._fixer, self._manager, merge_every=self._merge_every,
             mode=self._scheduler_mode)
@@ -494,6 +554,11 @@ class VectorStore:
         self._payloads = payloads
         self._attach_serving()
 
+    @property
+    def adc(self) -> ADCComputer | None:
+        """The compressed path's ADC computer (None unless ``compressed``)."""
+        return self._adc
+
     def close(self) -> None:
         """Stop background work and seal the WAL (flushes + fsyncs)."""
         if self._scheduler is not None and self._scheduler_mode == "thread":
@@ -535,6 +600,22 @@ class VectorStore:
         out["payloads"] = len(self._payloads)
         if self._scheduler is not None:
             out["serving"] = self._scheduler.stats()
+        if self._adc is not None:
+            searcher = self._searcher
+            out["compressed"] = {
+                "pq_m": self._adc.pq.m,
+                "pq_ks": self._adc.pq.ks,
+                "rerank": self._rerank,
+                "code_bytes": self._adc.code_bytes,
+                "adc_scored": searcher.adc_scored if searcher else 0,
+                "rerank_ndc": searcher.rerank_ndc if searcher else 0,
+                "pagein_seconds": searcher.pagein_seconds if searcher else 0.0,
+            }
+        if self._fixer.dc.is_memmap:
+            out["memmap"] = {
+                "path": str(self._fixer.dc.memmap_path),
+                "vector_bytes": self._fixer.dc.vector_bytes,
+            }
         if self._wal is not None:
             out["wal"] = self._wal.stats()
             out["last_checkpoint_seq"] = self._last_checkpoint_seq
@@ -555,8 +636,17 @@ class VectorStore:
     @classmethod
     def load(cls, path: str | pathlib.Path,
              fix_config: FixConfig | None = None,
-             serving: bool = True) -> "VectorStore":
+             serving: bool = True, compressed: bool = False,
+             pq_m: int | None = None, pq_ks: int = 32, rerank: int = 50,
+             memmap_dir: str | pathlib.Path | None = None) -> "VectorStore":
         """Reload a saved store for serving and repair — **not insertion**.
+
+        ``compressed``/``pq_m``/``pq_ks``/``rerank`` enable the PQ-resident
+        hot path on the loaded store (codes are fitted and encoded at load
+        time).  ``memmap_dir`` spills the raw vectors next to the snapshot
+        and serves them disk-resident (see
+        :func:`repro.io.load_index`); combined with ``compressed`` the
+        steady-state footprint is codes + graph, not vectors.
 
         The loaded graph is a :class:`~repro.io.FrozenIndex`: search,
         :meth:`observe`-driven repair, :meth:`delete`, and further
@@ -569,9 +659,11 @@ class VectorStore:
         which rebuilds an insert-capable index from snapshot + WAL.
         """
         path = pathlib.Path(path)
-        frozen = load_index(path)
+        frozen = load_index(path, memmap_dir=memmap_dir)
         store = cls(dim=frozen.dc.dim, metric=frozen.dc.metric,
-                    fix_config=fix_config, serving=serving)
+                    fix_config=fix_config, serving=serving,
+                    compressed=compressed, pq_m=pq_m, pq_ks=pq_ks,
+                    rerank=rerank)
         payloads = {}
         sidecar = path.with_suffix(".payloads.json")
         if sidecar.exists():

@@ -158,3 +158,51 @@ def test_registry_dataset_equivalence(name):
         np.testing.assert_array_equal(s.ids, b.ids)
         np.testing.assert_array_equal(s.distances, b.distances)
         assert s.n_hops == b.n_hops
+
+
+class TestWideBeam:
+    """beam_width > 1 trades the W=1 bit-equivalence contract for fewer
+    lock-step rounds; what it must preserve: the result list is the exact
+    top-k of everything the beam scored, and recall stays in a band of the
+    sequential-equivalent W=1 engine."""
+
+    def test_beam_width_validation(self):
+        dc = DistanceComputer(np.zeros((4, 2), dtype=np.float32), Metric.L2)
+        adjacency = AdjacencyStore(4)
+        adjacency.add_base_edge(0, 1)
+        with pytest.raises(ValueError):
+            BatchSearchEngine(dc, adjacency.neighbors, lambda q: [0],
+                              beam_width=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(world_with_graph(), st.integers(1, 5), st.integers(2, 16),
+           st.integers(2, 8))
+    def test_results_are_topk_of_scored_set(self, world, k, ef, width):
+        data, adjacency, metric, seed = world
+        dc = DistanceComputer(data, metric)
+        queries = np.random.default_rng(seed + 4).standard_normal(
+            (4, data.shape[1])).astype(np.float32)
+        engine = BatchSearchEngine(dc, adjacency.neighbors, lambda q: [0],
+                                   batch_size=4, beam_width=width)
+        results = engine.search_batch(queries, k=k, ef=max(ef, k),
+                                      collect_visited=True)
+        for r in results:
+            m = min(k, r.visited_ids.shape[0])
+            np.testing.assert_array_equal(
+                np.sort(r.distances),
+                np.sort(r.visited_distances)[:m])
+
+    def test_recall_band_vs_single_beam(self, tiny_ds, shared_hnsw, tiny_gt):
+        queries = tiny_ds.test_queries[:30]
+        k, ef = 10, 40
+        recalls = {}
+        for width in (1, 8):
+            engine = BatchSearchEngine(
+                shared_hnsw.dc, shared_hnsw.adjacency.neighbors,
+                shared_hnsw.entry_points, batch_size=16, beam_width=width)
+            results = engine.search_batch(queries, k=k, ef=ef)
+            hits = sum(
+                len(set(r.ids.tolist()) & set(tiny_gt.ids[i, :k].tolist()))
+                for i, r in enumerate(results))
+            recalls[width] = hits / (len(queries) * k)
+        assert recalls[8] >= recalls[1] - 0.05
