@@ -78,6 +78,7 @@ from repro.durability import (
     recover,
 )
 from repro.faults import FAULTS, FaultInjected, FaultPlan
+from repro.cluster import ClusterRouter, FrontDoor, merge_stats, merge_topk_batch
 from repro.core import (
     escape_hardness,
     EscapeHardnessResult,
@@ -185,5 +186,9 @@ __all__ = [
     "FAULTS",
     "FaultPlan",
     "FaultInjected",
+    "ClusterRouter",
+    "FrontDoor",
+    "merge_stats",
+    "merge_topk_batch",
     "__version__",
 ]

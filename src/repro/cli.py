@@ -8,6 +8,7 @@ Usage (also via ``python -m repro.cli``)::
     python -m repro.cli evaluate --dataset laion-sim --index-file /tmp/fixed.npz
     python -m repro.cli churn --dataset laion-sim --mutation-fraction 0.1
     python -m repro.cli churn --dataset laion-sim --wal-dir /tmp/wal
+    python -m repro.cli cluster --n-shards 4 --frontdoor --chaos
     python -m repro.cli recover /tmp/wal
     python -m repro.cli analyze --dataset laion-sim
     python -m repro.cli stats --dataset laion-sim --format both
@@ -166,6 +167,36 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also dump the N most recent per-query traces "
                               "as JSON (0 = off)")
     _add_compressed(p_stats)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="serve a dataset through the sharded scatter-gather "
+                        "router (forked shard workers + coalescing front "
+                        "door)")
+    _add_common(p_cluster)
+    p_cluster.add_argument("--n-shards", type=int, default=4,
+                           help="hash partitions (one worker process each)")
+    p_cluster.add_argument("--n-replicas", type=int, default=1,
+                           help="replicas per partition (read scaling + "
+                                "failover)")
+    p_cluster.add_argument("--ef", type=int, default=40,
+                           help="per-shard search list size")
+    p_cluster.add_argument("--batch-size", type=int, default=64)
+    p_cluster.add_argument("--deadline-ms", type=float, default=None,
+                           help="per-call latency budget; shards get "
+                                "budget*(1-merge_reserve) each")
+    p_cluster.add_argument("--base-dir",
+                           help="durability root (per-replica WAL dirs "
+                                "underneath); default: temp dir")
+    p_cluster.add_argument("--frontdoor", action="store_true",
+                           help="drive the workload through the asyncio "
+                                "coalescing front door instead of direct "
+                                "batched calls")
+    p_cluster.add_argument("--window-ms", type=float, default=2.0,
+                           help="front-door coalescing window")
+    p_cluster.add_argument("--chaos", action="store_true",
+                           help="kill shard 0 mid-run via repro.faults, then "
+                                "respawn it through WAL recovery")
+    _add_compressed(p_cluster)
 
     p_ex = sub.add_parser("explain", help="diagnose one test query in depth")
     _add_common(p_ex)
@@ -398,6 +429,77 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """Serve the dataset through a sharded router and report the outcome."""
+    from repro import compute_ground_truth
+    from repro.cluster import WORKER_OP_POINT, ClusterRouter
+    from repro.evalx import evaluate_index
+    ds = _load_dataset(args)
+    gt = compute_ground_truth(ds.base, ds.test_queries, args.k, ds.metric,
+                              n_workers=args.n_workers)
+    kwargs = {}
+    if args.compressed:
+        kwargs.update(compressed=True, pq_m=args.pq_m, pq_ks=args.pq_ks,
+                      rerank=args.rerank)
+    router = ClusterRouter(
+        dim=ds.base.shape[1], metric=ds.metric, n_shards=args.n_shards,
+        n_replicas=args.n_replicas, base_dir=args.base_dir,
+        M=12, ef_construction=60, seed=args.seed, **kwargs)
+    try:
+        router.load(ds.base, train_queries=ds.train_queries)
+        k, ef = args.k, max(args.ef, args.k)
+        point = evaluate_index(router, ds.test_queries, gt, k, ef,
+                               batch_size=max(2, args.batch_size))
+        print(f"{ds.name}: {args.n_shards} shards x {args.n_replicas} "
+              f"replicas — {point.qps:.1f} QPS @ recall {point.recall:.4f} "
+              f"(ef={ef}, NDC/query {point.ndc_per_query:.1f})")
+        if args.frontdoor:
+            import asyncio
+
+            from repro.cluster import FrontDoor
+            door = FrontDoor(router, window_ms=args.window_ms,
+                             max_batch=args.batch_size, k=k, ef=ef,
+                             deadline_ms=args.deadline_ms)
+
+            async def serve():
+                await asyncio.gather(
+                    *(door.search(q) for q in ds.test_queries))
+            asyncio.run(serve())
+            fd = door.stats()
+            print(f"  front door: {fd['dispatched']} queries in "
+                  f"{fd['blocks']} blocks (mean batch "
+                  f"{fd['mean_batch']:.1f}, window {args.window_ms}ms)")
+        if args.chaos:
+            handle = router.handles[0][0]
+            handle.rpc({"op": "arm_faults", "rules": [
+                {"point": WORKER_OP_POINT, "action": "kill", "nth": 2}]})
+            # Single searches: each one is an op on every shard, so the
+            # armed kill fires on the victim's second op — mid-run, with
+            # the remaining answers served degraded by the survivors.
+            results = [router.search(q, k, ef)
+                       for q in ds.test_queries[:32]]
+            degraded = sum(r.degraded for r in results)
+            report = router.respawn(0, 0)
+            print(f"  chaos: killed shard 0 mid-run — {degraded}/32 "
+                  f"degraded answers, recovery consistent: "
+                  f"{report.get('consistent') if report else 'n/a'}, "
+                  f"{router.live_replicas()} replicas live")
+        merged = router.stats()["merged"]
+        stats = router.router_stats()
+        print(f"  router: {stats['searches']} searches, "
+              f"{stats['retries']} replica retries, "
+              f"{stats['degraded']} degraded, "
+              f"{stats['respawns']} respawns")
+        comp = merged.get("compressed")
+        if isinstance(comp, dict):
+            print(f"  merged shards: {comp.get('adc_scored', 0)} ADC "
+                  f"scorings, {comp.get('rerank_ndc', 0)} exact re-rank "
+                  f"NDC (pq_sig shared: {merged.get('pq_sig')})")
+    finally:
+        router.close()
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro import HNSW, compute_ground_truth
     from repro.core.analysis import phase_reach_stats
@@ -457,6 +559,7 @@ _COMMANDS = {
     "fix": _cmd_fix,
     "evaluate": _cmd_evaluate,
     "churn": _cmd_churn,
+    "cluster": _cmd_cluster,
     "recover": _cmd_recover,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,

@@ -1,0 +1,41 @@
+"""Sharded, replicated serving: shard workers, scatter-gather router,
+async coalescing front door.  See docs/architecture.md ("Scaling out").
+"""
+
+from repro.cluster.frontdoor import FrontDoor
+from repro.cluster.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    recv_msg,
+    send_msg,
+)
+from repro.cluster.router import (
+    ClusterError,
+    ClusterRouter,
+    hash_partition,
+    merge_topk,
+    merge_topk_batch,
+    shard_budget_ms,
+)
+from repro.cluster.stats import merge_stats
+from repro.cluster.worker import WORKER_OP_POINT, pq_signature, shard_wal_dir
+
+__all__ = [
+    "ClusterError",
+    "ClusterRouter",
+    "FrontDoor",
+    "ProtocolError",
+    "WORKER_OP_POINT",
+    "decode",
+    "encode",
+    "hash_partition",
+    "merge_stats",
+    "merge_topk",
+    "merge_topk_batch",
+    "pq_signature",
+    "recv_msg",
+    "send_msg",
+    "shard_budget_ms",
+    "shard_wal_dir",
+]

@@ -1,0 +1,160 @@
+"""Asyncio front door: coalesce concurrent single-query requests into blocks.
+
+Interactive callers issue one query at a time, but the whole serving stack
+below — :class:`~repro.batch.BatchSearchEngine` inside every shard, one RPC
+per partition in the router — amortizes per ``search_batch`` block.  The
+front door closes that gap: concurrent ``await frontdoor.search(q)`` calls
+landing within a small window (``window_ms`` deadline or ``max_batch``
+fill, whichever first) are stacked into one query matrix, dispatched as a
+single router ``search_batch`` in a worker thread, and fanned back to each
+caller's future.
+
+The coalescing trade-off is explicit and measured: a lone query pays up to
+``window_ms`` extra latency; at high concurrency the batch kernel and the
+once-per-block scatter overhead are shared by every rider, which is where
+the throughput multiple comes from (see ``BENCH_sharding.json``'s
+coalescing curve).  Queue depth and realized batch sizes are exported as
+``cluster_frontdoor_*`` metrics so the window can be tuned from telemetry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.obs import OBS
+
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+_COALESCED = OBS.histogram(
+    "cluster_frontdoor_batch_size",
+    "queries coalesced per dispatched block", buckets=_BATCH_BUCKETS)
+_WAITS = OBS.histogram(
+    "cluster_frontdoor_wait_seconds",
+    "time a query waited in the coalescing window")
+
+
+class _Pending:
+    __slots__ = ("query", "future", "t_enqueue")
+
+    def __init__(self, query: np.ndarray, future: asyncio.Future):
+        self.query = query
+        self.future = future
+        self.t_enqueue = time.perf_counter()
+
+
+class FrontDoor:
+    """Async facade over a router (or store): windowed query coalescing.
+
+    Parameters
+    ----------
+    searcher:
+        Anything with ``search_batch(queries, k, ef, batch_size=...)``
+        returning a list of :class:`~repro.graphs.search.SearchResult` —
+        a :class:`~repro.cluster.router.ClusterRouter` or a single
+        :class:`~repro.store.VectorStore`.
+    window_ms:
+        How long the first query in a window waits for riders before the
+        block is dispatched (the latency a lone query pays for coalescing).
+    max_batch:
+        Dispatch early once this many queries are queued.
+    k, ef, deadline_ms:
+        Defaults applied to queries that do not override them; per-call
+        ``k`` must match within one block, so mixed-k calls dispatch in
+        k-homogeneous groups.
+    """
+
+    def __init__(self, searcher, window_ms: float = 2.0,
+                 max_batch: int = 64, k: int = 10, ef: int | None = None,
+                 deadline_ms: float | None = None):
+        self.searcher = searcher
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self.k = k
+        self.ef = ef
+        self.deadline_ms = deadline_ms
+        self.n_dispatched = 0
+        self.n_blocks = 0
+        self._queues: dict[int, list[_Pending]] = {}  # k -> waiting queries
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._lock = asyncio.Lock()
+        OBS.gauge_fn("cluster_frontdoor_queue_depth",
+                     lambda: sum(len(q) for q in self._queues.values()),
+                     "queries waiting in the coalescing window")
+
+    async def search(self, query: np.ndarray, k: int | None = None,
+                     ef: int | None = None):
+        """Await one query's merged result; rides a coalesced block."""
+        k = self.k if k is None else int(k)
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            np.ascontiguousarray(np.asarray(query, dtype=np.float32)),
+            loop.create_future())
+        async with self._lock:
+            queue = self._queues.setdefault(k, [])
+            queue.append(pending)
+            if len(queue) >= self.max_batch:
+                self._dispatch(loop, k)
+            elif k not in self._timers:
+                self._timers[k] = loop.call_later(
+                    self.window_ms / 1000.0, self._on_window, loop, k)
+        return await pending.future
+
+    def _on_window(self, loop: asyncio.AbstractEventLoop, k: int) -> None:
+        self._dispatch(loop, k)
+
+    def _dispatch(self, loop: asyncio.AbstractEventLoop, k: int) -> None:
+        """Cut the current window into one block and run it off-loop."""
+        timer = self._timers.pop(k, None)
+        if timer is not None:
+            timer.cancel()
+        block = self._queues.pop(k, [])
+        if not block:
+            return
+        now = time.perf_counter()
+        if OBS.enabled:
+            _COALESCED.observe(len(block))
+            for pending in block:
+                _WAITS.observe(now - pending.t_enqueue)
+        self.n_blocks += 1
+        self.n_dispatched += len(block)
+        queries = np.stack([p.query for p in block])
+
+        def run():
+            return self.searcher.search_batch(
+                queries, k, self.ef, batch_size=max(len(block), 1),
+                deadline_ms=self.deadline_ms)
+
+        task = loop.run_in_executor(None, run)
+        task.add_done_callback(lambda fut: self._resolve(block, fut))
+
+    @staticmethod
+    def _resolve(block: list[_Pending], fut) -> None:
+        exc = fut.exception()
+        if exc is not None:
+            for pending in block:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        results = fut.result()
+        for pending, result in zip(block, results):
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+    async def drain(self) -> None:
+        """Dispatch any partially-filled windows immediately (for shutdown)."""
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            for k in list(self._queues):
+                self._dispatch(loop, k)
+
+    def stats(self) -> dict:
+        return {
+            "dispatched": self.n_dispatched,
+            "blocks": self.n_blocks,
+            "mean_batch": (self.n_dispatched / self.n_blocks
+                           if self.n_blocks else 0.0),
+            "window_ms": self.window_ms,
+            "max_batch": self.max_batch,
+        }

@@ -1,0 +1,127 @@
+"""Length-prefixed binary message framing for shard RPC.
+
+One frame carries one JSON-serializable message dict plus any number of
+numpy arrays, without base64 inflation: the frame is
+
+    [4-byte BE header length][header JSON][raw array bytes, concatenated]
+
+The header separates the plain part of the message from an array manifest
+(``key``, ``dtype``, ``shape`` per array, in payload order), so the receiver
+reassembles views with one :func:`np.frombuffer` per array — no copies on
+the hot path beyond the socket read itself.  Query blocks (float32 matrices)
+and result blocks (int64/float64 matrices) therefore cost their raw byte
+size per hop, which is what keeps scatter-gather overhead amortizable over
+batched blocks.
+
+The framing is transport-agnostic: anything with ``sendall``/``recv`` works
+(the cluster uses ``socket.socketpair`` between the router and forked shard
+workers).  A peer that dies mid-frame surfaces as :class:`ConnectionError`
+from the read loop — the router's failover path keys off exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+#: Frames above this size are refused (corrupt length prefix, not real data).
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame (bad length prefix, truncated manifest, bad dtype)."""
+
+
+def encode(msg: dict) -> bytes:
+    """Serialize one message dict (ndarray values split out) to frame bytes."""
+    plain: dict = {}
+    manifest: list[list] = []
+    blobs: list[bytes] = []
+    for key, value in msg.items():
+        if isinstance(value, np.ndarray):
+            arr = np.ascontiguousarray(value)
+            manifest.append([key, arr.dtype.str, list(arr.shape)])
+            blobs.append(arr.tobytes())
+        else:
+            plain[key] = value
+    header = json.dumps({"m": plain, "a": manifest},
+                        separators=(",", ":")).encode()
+    return b"".join([_LEN.pack(len(header)), header, *blobs])
+
+
+def decode(header: bytes, payload: bytes) -> dict:
+    """Rebuild the message dict from header JSON + array payload bytes."""
+    try:
+        parsed = json.loads(header)
+        msg = dict(parsed["m"])
+        offset = 0
+        for key, dtype, shape in parsed["a"]:
+            dt = np.dtype(dtype)
+            n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            nbytes = dt.itemsize * n
+            if offset + nbytes > len(payload):
+                raise ProtocolError(
+                    f"array {key!r} overruns payload "
+                    f"({offset + nbytes} > {len(payload)})")
+            msg[key] = np.frombuffer(
+                payload, dtype=dt, count=n, offset=offset).reshape(shape)
+            offset += nbytes
+    except ProtocolError:
+        raise
+    except Exception as exc:  # json/dtype/shape corruption
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    return msg
+
+
+def send_msg(sock: socket.socket, msg: dict) -> None:
+    """Frame and send one message (blocking; raises ConnectionError on EPIPE)."""
+    try:
+        sock.sendall(encode(msg))
+    except (BrokenPipeError, OSError) as exc:
+        raise ConnectionError(f"peer gone during send: {exc}") from exc
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise ConnectionError(f"peer gone during recv: {exc}") from exc
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed mid-frame ({n - remaining}/{n} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict:
+    """Read one full frame; raises ConnectionError when the peer died.
+
+    The array payload length is derived from the manifest (dtype x shape
+    per array), so a frame is read with exactly three ``recv`` loops:
+    length prefix, header, payload.
+    """
+    header_len = _LEN.unpack(_read_exact(sock, _LEN.size))[0]
+    if header_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"header length {header_len} exceeds frame cap")
+    header = _read_exact(sock, header_len)
+    try:
+        manifest = json.loads(header)["a"]
+        payload_len = sum(
+            np.dtype(dtype).itemsize
+            * (int(np.prod(shape, dtype=np.int64)) if shape else 1)
+            for _, dtype, shape in manifest)
+    except Exception as exc:
+        raise ProtocolError(f"malformed frame header: {exc}") from exc
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"payload length {payload_len} exceeds frame cap")
+    payload = _read_exact(sock, payload_len) if payload_len else b""
+    return decode(header, payload)

@@ -182,12 +182,43 @@ class DistanceComputer:
     def prepare_query(self, query: np.ndarray) -> np.ndarray:
         """Validate (and for COSINE normalize) a query vector once per search."""
         q = check_vector(query, "query", dim=self.dim)
-        if self.metric is Metric.COSINE:
-            # Always float64 (even for near-zero norms) so a block of
-            # prepared queries stacks into one homogeneous matrix.
-            norm = np.linalg.norm(q)
-            q = q / norm if norm > 1e-12 else q.astype(np.float64)
-        return q
+        return self._normalize_rows(q[None, :])[0]
+
+    def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Batch :meth:`prepare_query`: one ``(B, d)`` block, vectorized.
+
+        Per-query preparation is ef-independent overhead that dominates
+        small-``ef`` batched searches (it is why a shard-sized block does
+        not get proportionally cheaper as its graph shrinks).  Both entry
+        points share :meth:`_normalize_rows`, so a row prepared here is
+        bit-identical to the same vector prepared alone — the
+        sequential/batched equivalence of the search engines depends on it.
+        """
+        qm = np.ascontiguousarray(queries, dtype=np.float32)
+        if qm.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {qm.shape}")
+        if qm.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}, "
+                             f"got {qm.shape[1]}")
+        if not np.isfinite(qm).all():
+            raise ValueError("queries contain NaN or Inf")
+        return self._normalize_rows(qm)
+
+    def _normalize_rows(self, qm: np.ndarray) -> np.ndarray:
+        """Shared COSINE row normalization (other metrics pass through).
+
+        Near-zero rows are left unnormalized but force the whole block to
+        float64, matching what stacking per-row prepared vectors (float32
+        rows + float64 degenerate rows) always produced.
+        """
+        if self.metric is not Metric.COSINE:
+            return qm
+        norms = np.sqrt(np.einsum("ij,ij->i", qm, qm))
+        safe = norms > 1e-12
+        out = qm / np.where(safe, norms, 1.0)[:, None]
+        if not safe.all():
+            out = out.astype(np.float64)
+        return out
 
     def _rows_to_query_rows(self, rows: np.ndarray, qrows: np.ndarray) -> np.ndarray:
         """Row-aligned distance reduction shared by the scalar and block paths.

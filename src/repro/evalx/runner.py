@@ -276,6 +276,7 @@ def interleaved_workload(
     churn_ids: list[int] | None = None,
     observe_every: int = 0,
     seed: int = 0,
+    vectors: np.ndarray | None = None,
 ) -> ChurnReport:
     """Serve queries while continuously mutating the index (churn protocol).
 
@@ -295,12 +296,23 @@ def interleaved_workload(
 
     ``observe_every > 0`` additionally feeds every Nth query batch's first
     query to ``store.observe`` (online NGFix/RFix repair).
+
+    ``vectors`` supplies the base matrix indexed by id for delete/re-insert
+    pairs; when omitted the store's own ``dc.data`` is read.  Pass it for
+    stores that do not expose resident vectors — e.g. a
+    :class:`~repro.cluster.router.ClusterRouter`, whose vectors live in the
+    shard worker processes.
     """
     check_positive(k, "k")
     check_positive(batch_size, "batch_size")
     queries = np.asarray(queries, dtype=np.float32)
     gt_k = gt.top(k)
     rng = np.random.default_rng(seed)
+
+    def vector_of(vid: int) -> np.ndarray:
+        if vectors is not None:
+            return np.array(vectors[vid], copy=True)
+        return np.array(store.dc.data[vid], copy=True)
 
     if churn_ids is None:
         protected = set(np.unique(gt_k.ids).tolist())
@@ -353,8 +365,7 @@ def interleaved_workload(
             elif churn_cursor < len(churn_ids):
                 victim = churn_ids[churn_cursor]
                 churn_cursor += 1
-                pending_reinserts.append(
-                    (victim, np.array(store.dc.data[victim], copy=True)))
+                pending_reinserts.append((victim, vector_of(victim)))
                 store.delete([victim])
                 n_deletes += 1
         n_batches += 1

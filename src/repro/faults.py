@@ -29,6 +29,10 @@ Registered injection points (every site documents itself by calling
                           (the commit point) is published
 ``scheduler.pre_merge``   inside ``merge_now`` before the epoch cut
 ``worker.drain``          top of ``MaintenanceScheduler.run_pending``
+``cluster.worker_op``     top of a shard worker's request dispatch, before
+                          the op applies (no ack ⇒ not applied, so the
+                          router's catch-up replay is safe); armed remotely
+                          via the worker's ``arm_faults`` op
 ========================  ====================================================
 
 ``action="kill"`` terminates the process with ``os._exit(137)`` — only

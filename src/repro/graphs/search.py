@@ -301,7 +301,8 @@ class BatchSearchEngine:
     """
 
     def __init__(self, dc, neighbors_fn, entry_points_fn, excluded_fn=None,
-                 batch_size: int = 32, graph_fn=None, beam_width: int = 1):
+                 batch_size: int = 32, graph_fn=None, beam_width: int = 1,
+                 entry_points_block_fn=None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if beam_width <= 0:
@@ -309,6 +310,10 @@ class BatchSearchEngine:
         self.dc = dc
         self.neighbors_fn = neighbors_fn
         self.entry_points_fn = entry_points_fn
+        # Optional fast path for query-independent entry strategies: called
+        # once per block (with the prepared query matrix) instead of once
+        # per query, returning entries shared by every row.
+        self.entry_points_block_fn = entry_points_block_fn
         self.excluded_fn = excluded_fn
         self.graph_fn = graph_fn
         self.batch_size = batch_size
@@ -385,11 +390,13 @@ class BatchSearchEngine:
             excl_mask = None
 
         if prepared:
-            prep = list(block)
             qmat = np.asarray(block)
         else:
-            prep = [dc.prepare_query(q) for q in block]
-            qmat = np.array(prep)
+            prepare_queries = getattr(dc, "prepare_queries", None)
+            if prepare_queries is not None:
+                qmat = prepare_queries(block)
+            else:
+                qmat = np.array([dc.prepare_query(q) for q in block])
         # Block-scoped scoring state: an ADC computer (see
         # repro.quantization.adc.ADCComputer) precomputes this block's
         # per-query lookup tables here, after which every frontier gather is
@@ -405,13 +412,20 @@ class BatchSearchEngine:
         visited.grow(n_queries * n)
         visited.next_epoch()
 
-        entry_lists = []
-        for q in prep:
-            entries = np.unique(np.asarray(list(self.entry_points_fn(q)),
-                                           dtype=np.int64))
-            if entries.size == 0:
+        if self.entry_points_block_fn is not None:
+            shared = np.unique(np.asarray(
+                list(self.entry_points_block_fn(qmat)), dtype=np.int64))
+            if shared.size == 0:
                 raise ValueError("at least one entry point is required")
-            entry_lists.append(entries)
+            entry_lists = [shared] * n_queries
+        else:
+            entry_lists = []
+            for q in qmat:
+                entries = np.unique(np.asarray(list(self.entry_points_fn(q)),
+                                               dtype=np.int64))
+                if entries.size == 0:
+                    raise ValueError("at least one entry point is required")
+                entry_lists.append(entries)
 
         # Block state.  Rows are physically compacted as queries finish;
         # ``alive[row]`` maps back to the original block position (which also
@@ -500,13 +514,25 @@ class BatchSearchEngine:
         def finish(rows, degraded: bool = False):
             """Finalize ``rows`` (current indices) and drop them from state."""
             nonlocal alive, res_d, res_id, pool_d, pool_id, pool_fill, hops
-            for r in rows.tolist():
-                mask = res_id[r] >= 0
-                d, ids_row = res_d[r][mask], res_id[r][mask]
-                order = np.lexsort((ids_row, d))[:k]
+            # Batched equivalent of each row's mask-then-lexsort((ids, d)):
+            # stable-sort columns by id, then stably by distance.  Invalid
+            # slots (id -1, distance inf) sink to the end of the distance
+            # sort — real distances are finite — so a row's first n_valid
+            # columns are exactly its per-row lexsort output.
+            sub_id = res_id[rows]
+            o1 = np.argsort(sub_id, axis=1, kind="stable")
+            d1 = np.take_along_axis(res_d[rows], o1, axis=1)
+            i1 = np.take_along_axis(sub_id, o1, axis=1)
+            o2 = np.argsort(d1, axis=1, kind="stable")[:, :k]
+            d_sorted = np.take_along_axis(d1, o2, axis=1)
+            id_sorted = np.take_along_axis(i1, o2, axis=1)
+            n_valid = np.minimum((sub_id >= 0).sum(axis=1), k)
+            group_hops = hops[rows]
+            for j, r in enumerate(rows.tolist()):
+                m = int(n_valid[j])
                 final[int(alive[r])] = SearchResult(
-                    ids=ids_row[order], distances=d[order],
-                    n_hops=int(hops[r]), degraded=degraded)
+                    ids=id_sorted[j, :m], distances=d_sorted[j, :m],
+                    n_hops=int(group_hops[j]), degraded=degraded)
             keep = np.ones(alive.shape[0], dtype=bool)
             keep[rows] = False
             alive, hops, pool_fill = alive[keep], hops[keep], pool_fill[keep]

@@ -93,6 +93,9 @@ class ADCComputer:
     def prepare_query(self, query: np.ndarray) -> np.ndarray:
         return self.base.prepare_query(query)
 
+    def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        return self.base.prepare_queries(queries)
+
     # -- code maintenance ----------------------------------------------------
 
     def sync(self) -> int:

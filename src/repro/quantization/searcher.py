@@ -335,7 +335,7 @@ class PQRerankSearcher:
         budget = max(self.rerank, k)
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         adc0 = self.adc.ndc
-        qmat = np.array([self.dc.prepare_query(q) for q in queries])
+        qmat = self.dc.prepare_queries(queries)
         # The beam runs at the caller's ef; the shortlist is carved from the
         # *visited* set (every ADC-scored node), so a large re-rank budget
         # costs exact distance computations, not traversal width.

@@ -455,14 +455,19 @@ class ServingSearcher:
     """
 
     def __init__(self, fixer, manager: EpochManager, batch_size: int = 32,
-                 adc=None, rerank: int = 50, beam_width: int = 4):
+                 adc=None, rerank: int = 50, beam_width: int | None = None):
         self.fixer = fixer
         self.manager = manager
         self.adc = adc
         self.rerank = rerank
-        # Wide beam only pays where scoring is cheap (ADC); the
+        # Default beam: wide only where scoring is cheap (ADC); the
         # full-precision engine keeps width 1 (sequential equivalence).
-        self.beam_width = beam_width if adc is not None else 1
+        # An explicit beam_width overrides — shard-sized graphs at small
+        # ef are lock-step-round-bound, and a wide beam cuts rounds at the
+        # cost of a few extra (vectorized, cheap) distance evaluations.
+        if beam_width is None:
+            beam_width = 4 if adc is not None else 1
+        self.beam_width = beam_width
         self._visited = VisitedTable(fixer.dc.size)
         self._engine: BatchSearchEngine | None = None
         self._engine_batch = batch_size
@@ -482,6 +487,32 @@ class ServingSearcher:
     @property
     def compressed(self) -> bool:
         return self.adc is not None
+
+    def attach_adc(self, adc, rerank: int | None = None,
+                   beam_width: int = 4) -> None:
+        """Swap in (or install) an ADC computer and invalidate the engine.
+
+        The cached :class:`BatchSearchEngine` keys on batch size and beam
+        width but not on the distance computer, so a codebook swap (e.g.
+        the cluster router shipping a shared PQ) must drop it explicitly —
+        otherwise blocks would keep scoring with the old codes.
+        """
+        self.adc = adc
+        if rerank is not None:
+            self.rerank = rerank
+        self.beam_width = beam_width if adc is not None else 1
+        self._engine = None
+
+    def stats(self) -> dict:
+        """Aggregatable searcher counters (summed across shards via
+        :func:`repro.cluster.stats.merge_stats`)."""
+        return {
+            "n_degraded": self.n_degraded,
+            "adc_scored": self.adc_scored,
+            "rerank_ndc": self.rerank_ndc,
+            "pagein_seconds": self.pagein_seconds,
+            "compressed": self.compressed,
+        }
 
     def _rerank_exact(self, shortlist: np.ndarray, q: np.ndarray, k: int,
                       degraded: bool) -> SearchResult:
@@ -635,6 +666,10 @@ class ServingSearcher:
                 batch_size=batch_size,
                 graph_fn=self._pin_block,
                 beam_width=self.beam_width,
+                # The epoch entry is query-independent: seed it once per
+                # block instead of once per query.
+                entry_points_block_fn=(
+                    lambda qmat: [self._block_pin.epoch.entry]),
             )
             self._engine = engine
         try:
@@ -662,7 +697,7 @@ class ServingSearcher:
         budget = max(self.rerank, k)
         adc0 = self.adc.ndc
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        qmat = np.array([self.dc.prepare_query(q) for q in queries])
+        qmat = self.dc.prepare_queries(queries)
         # Beam at the caller's ef; shortlists carved from the visited set
         # (see PQRerankSearcher.search_batch for the rationale).
         approx = engine.search_batch(qmat, k=k, ef=max(ef, k),

@@ -111,8 +111,11 @@ class VectorStore:
                  sync_every: int = 8, checkpoint_every: int = 0,
                  compressed: bool = False, pq_m: int | None = None,
                  pq_ks: int = 32, rerank: int = 50,
-                 memmap_path: str | pathlib.Path | None = None):
+                 memmap_path: str | pathlib.Path | None = None,
+                 beam_width: int | None = None):
         check_positive(dim, "dim")
+        if beam_width is not None:
+            check_positive(beam_width, "beam_width")
         if compressed and not serving:
             raise ValueError(
                 "compressed=True runs through the serving layer; it cannot "
@@ -126,9 +129,11 @@ class VectorStore:
         self._pq_m = pq_m
         self._pq_ks = pq_ks
         self._rerank = rerank
+        self._beam_width = beam_width
         self._memmap_path = (None if memmap_path is None
                              else pathlib.Path(memmap_path))
         self._adc: ADCComputer | None = None
+        self._shared_pq: ProductQuantizer | None = None
         self.fix_config = fix_config or FixConfig(preprocess="approx")
         self._payloads: dict[int, Any] = {}
         self._pending: list[np.ndarray] = []
@@ -319,14 +324,19 @@ class VectorStore:
         if not self._serving_enabled:
             return
         if self._compressed:
-            pq = ProductQuantizer(
+            # A shipped codebook (apply_pq before build — the cluster
+            # router's code-shipping path) is adopted as-is: ADCComputer
+            # only fits an unfitted quantizer, so shared codes stay
+            # mutually comparable across shards.
+            pq = self._shared_pq or ProductQuantizer(
                 m=self._pq_m or ADCComputer._default_m(self.dim),
                 ks=self._pq_ks, metric=self.metric,
                 seed=self._build_params["seed"])
             self._adc = ADCComputer(self._fixer.dc, pq)
         self._manager = EpochManager(self._fixer.adjacency, self._fixer.entry)
         self._searcher = ServingSearcher(self._fixer, self._manager,
-                                         adc=self._adc, rerank=self._rerank)
+                                         adc=self._adc, rerank=self._rerank,
+                                         beam_width=self._beam_width)
         self._scheduler = MaintenanceScheduler(
             self._fixer, self._manager, merge_every=self._merge_every,
             mode=self._scheduler_mode)
@@ -559,6 +569,35 @@ class VectorStore:
         """The compressed path's ADC computer (None unless ``compressed``)."""
         return self._adc
 
+    def apply_pq(self, pq: ProductQuantizer) -> None:
+        """Adopt a pre-trained (shipped) PQ codebook for compressed serving.
+
+        The cluster router trains one quantizer on a data sample and
+        broadcasts it so every shard encodes with the *same* codebook —
+        ADC scores are then comparable across the whole cluster.  Called
+        before :meth:`build`, the codebook is stashed and used when the
+        serving stack comes up; on a built store the resident codes are
+        re-encoded immediately and the searcher's cached engine is
+        invalidated (see :meth:`ServingSearcher.attach_adc
+        <repro.serving.ServingSearcher.attach_adc>`).
+        """
+        if not pq.is_fitted:
+            raise ValueError("apply_pq expects a fitted ProductQuantizer")
+        if pq.dim != self.dim:
+            raise ValueError(
+                f"codebook dimension {pq.dim} != store dimension {self.dim}")
+        self._shared_pq = pq
+        self._compressed = True
+        self._pq_m, self._pq_ks = pq.m, pq.ks
+        if self._fixer is None or not self._serving_enabled:
+            return
+        lock = (self._scheduler.write_lock if self._scheduler is not None
+                else contextlib.nullcontext())
+        with lock:
+            self._adc = ADCComputer(self._fixer.dc, pq)
+            if self._searcher is not None:
+                self._searcher.attach_adc(self._adc, rerank=self._rerank)
+
     def close(self) -> None:
         """Stop background work and seal the WAL (flushes + fsyncs)."""
         if self._scheduler is not None and self._scheduler_mode == "thread":
@@ -607,10 +646,13 @@ class VectorStore:
                 "pq_ks": self._adc.pq.ks,
                 "rerank": self._rerank,
                 "code_bytes": self._adc.code_bytes,
-                "adc_scored": searcher.adc_scored if searcher else 0,
-                "rerank_ndc": searcher.rerank_ndc if searcher else 0,
-                "pagein_seconds": searcher.pagein_seconds if searcher else 0.0,
             }
+            if searcher is not None:
+                # Aggregatable searcher counters (adc_scored, rerank_ndc,
+                # ...) sum cleanly across shards via cluster.merge_stats.
+                out["compressed"].update(searcher.stats())
+        elif self._searcher is not None:
+            out["searcher"] = self._searcher.stats()
         if self._fixer.dc.is_memmap:
             out["memmap"] = {
                 "path": str(self._fixer.dc.memmap_path),
