@@ -63,6 +63,49 @@ def _add_compressed(parser: argparse.ArgumentParser) -> None:
                              "serve them via np.memmap (disk-resident tier)")
 
 
+def _add_policy(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default=None,
+                        choices=["cadence", "signal"],
+                        help="maintenance policy: 'cadence' = fixed "
+                             "merge_every/repair-on-observe (the default "
+                             "behavior), 'signal' = navigability-triggered "
+                             "merge/repair (see docs/architecture.md)")
+    parser.add_argument("--policy-config", default=None,
+                        help="JSON dict of keyword arguments for the chosen "
+                             "policy, e.g. "
+                             "'{\"storm_deletes\": 16, \"min_traces\": 8}'")
+
+
+def _policy_kwargs(args) -> dict:
+    import json as _json
+    kwargs = {}
+    if getattr(args, "policy", None):
+        kwargs["policy"] = args.policy
+        if getattr(args, "policy_config", None):
+            kwargs["policy_config"] = _json.loads(args.policy_config)
+    elif getattr(args, "policy_config", None):
+        raise SystemExit("--policy-config requires --policy")
+    return kwargs
+
+
+def _print_policy_stats(store) -> None:
+    scheduler = store.scheduler
+    if scheduler is None:
+        return
+    pol = scheduler.stats()["policy"]
+    if pol.get("policy") == "signal":
+        print(f"  policy signal: score {pol['signal_score']:.3f} "
+              f"(slope {pol['signal_slope']:+.3f}), "
+              f"{pol['triggers_fired']} triggers, "
+              f"{pol['storm_detections']} storms, "
+              f"{pol['repairs_skipped']} repairs skipped, "
+              f"{pol['repairs_requested']} burst repairs, "
+              f"{pol['deferred_merges']} merges deferred")
+    else:
+        print(f"  policy {pol.get('policy')}: "
+              f"merge_every {pol.get('merge_every')}")
+
+
 def _store_compressed_kwargs(args) -> dict:
     import pathlib
     kwargs = {}
@@ -141,6 +184,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p_churn.add_argument("--sync-every", type=int, default=8,
                          help="fsync the WAL every N records (1 = every "
                               "record, 0 = never; requires --wal-dir)")
+    p_churn.add_argument("--storm", action="store_true",
+                         help="run the bursty delete-storm protocol "
+                              "(tail-recall stressor) instead of "
+                              "steady-state churn")
+    p_churn.add_argument("--storm-every", type=int, default=12,
+                         help="query batches between delete storms")
+    p_churn.add_argument("--storm-size", type=int, default=24,
+                         help="ids deleted per storm burst")
+    p_churn.add_argument("--rounds", type=int, default=3,
+                         help="passes over the query set in storm mode")
+    p_churn.add_argument("--json", action="store_true",
+                         help="emit the report (incl. recall percentiles "
+                              "and policy counters) as JSON")
+    _add_policy(p_churn)
     _add_compressed(p_churn)
 
     p_rec = sub.add_parser(
@@ -166,6 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--traces", type=int, default=0,
                          help="also dump the N most recent per-query traces "
                               "as JSON (0 = off)")
+    _add_policy(p_stats)
     _add_compressed(p_stats)
 
     p_cluster = sub.add_parser(
@@ -196,6 +254,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--chaos", action="store_true",
                            help="kill shard 0 mid-run via repro.faults, then "
                                 "respawn it through WAL recovery")
+    _add_policy(p_cluster)
     _add_compressed(p_cluster)
 
     p_ex = sub.add_parser("explain", help="diagnose one test query in depth")
@@ -307,13 +366,18 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_churn(args) -> int:
+    import dataclasses as _dc
+    import json as _json
+
     from repro import VectorStore, compute_ground_truth
-    from repro.evalx import evaluate_index, interleaved_workload
+    from repro.evalx import (delete_storm_workload, evaluate_index,
+                             format_percentiles, interleaved_workload)
     ds = _load_dataset(args)
     store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
                         M=12, ef_construction=60, seed=args.seed,
                         merge_every=args.merge_every,
                         wal_dir=args.wal_dir, sync_every=args.sync_every,
+                        **_policy_kwargs(args),
                         **_store_compressed_kwargs(args))
     store.add(ds.base)
     store.build()
@@ -325,20 +389,55 @@ def _cmd_churn(args) -> int:
     batch_size = max(2, args.batch_size)
     baseline = evaluate_index(store, ds.test_queries, gt, args.k,
                               max(args.ef, args.k), batch_size=batch_size)
-    report = interleaved_workload(
-        store, ds.test_queries, gt, args.k, max(args.ef, args.k),
-        batch_size=batch_size,
-        mutation_fraction=args.mutation_fraction,
-        observe_every=args.observe_every, seed=args.seed)
+    if args.storm:
+        report = delete_storm_workload(
+            store, ds.test_queries, gt, args.k, max(args.ef, args.k),
+            batch_size=batch_size, rounds=args.rounds,
+            storm_every=args.storm_every, storm_size=args.storm_size,
+            observe_every=max(args.observe_every, 1), seed=args.seed)
+    else:
+        report = interleaved_workload(
+            store, ds.test_queries, gt, args.k, max(args.ef, args.k),
+            batch_size=batch_size,
+            mutation_fraction=args.mutation_fraction,
+            observe_every=args.observe_every, seed=args.seed)
+    scheduler = store.scheduler
+    policy_stats = (scheduler.stats()["policy"]
+                    if scheduler is not None else {})
+    if args.json:
+        out = {
+            "dataset": ds.name,
+            "mode": "storm" if args.storm else "steady",
+            "baseline": {"qps": baseline.qps, "recall": baseline.recall},
+            "report": _dc.asdict(report),
+            "policy": policy_stats,
+        }
+        print(_json.dumps(out, indent=2))
+        store.close()
+        return 0
+    pct = {"p50": report.recall_p50, "p95": report.recall_p95,
+           "p99": report.recall_p99}
     print(f"{ds.name}: read-only {baseline.qps:.1f} QPS "
           f"@ recall {baseline.recall:.4f}")
-    print(f"churn ({args.mutation_fraction:.0%} mutations): "
-          f"{report.qps:.1f} QPS @ recall {report.recall:.4f} "
-          f"({report.qps / baseline.qps:.0%} of read-only)")
-    print(f"  {report.n_inserts} inserts, {report.n_deletes} deletes, "
-          f"{report.n_observed} observed, {report.merges} epoch merges, "
-          f"{report.repairs} online repairs")
-    print(f"  query-path O(E) refreezes: {report.query_path_freezes}")
+    if args.storm:
+        print(f"delete storm ({report.n_storms} storms x "
+              f"{args.storm_size} deletes): {report.qps:.1f} QPS "
+              f"@ recall {report.recall:.4f} "
+              f"({report.qps / baseline.qps:.0%} of read-only)")
+        print(f"  {report.n_deletes} deletes, {report.n_reinserts} "
+              f"re-inserts, {report.n_observed} observed, "
+              f"{report.merges} epoch merges, {report.repairs} repairs "
+              f"({report.maintenance_seconds * 1e3:.1f}ms maintenance)")
+    else:
+        print(f"churn ({args.mutation_fraction:.0%} mutations): "
+              f"{report.qps:.1f} QPS @ recall {report.recall:.4f} "
+              f"({report.qps / baseline.qps:.0%} of read-only)")
+        print(f"  {report.n_inserts} inserts, {report.n_deletes} deletes, "
+              f"{report.n_observed} observed, {report.merges} epoch merges, "
+              f"{report.repairs} online repairs")
+        print(f"  query-path O(E) refreezes: {report.query_path_freezes}")
+    print(f"  {format_percentiles(pct)}")
+    _print_policy_stats(store)
     _print_compressed_stats(store)
     if store.wal is not None:
         wal_stats = store.wal.stats()
@@ -393,6 +492,7 @@ def _cmd_stats(args) -> int:
     store = VectorStore(dim=ds.base.shape[1], metric=ds.metric,
                         M=12, ef_construction=60, seed=args.seed,
                         scheduler_mode="thread",
+                        **_policy_kwargs(args),
                         **_store_compressed_kwargs(args))
     store.add(ds.base)
     store.build()
@@ -441,6 +541,7 @@ def _cmd_cluster(args) -> int:
     if args.compressed:
         kwargs.update(compressed=True, pq_m=args.pq_m, pq_ks=args.pq_ks,
                       rerank=args.rerank)
+    kwargs.update(_policy_kwargs(args))
     router = ClusterRouter(
         dim=ds.base.shape[1], metric=ds.metric, n_shards=args.n_shards,
         n_replicas=args.n_replicas, base_dir=args.base_dir,
@@ -495,6 +596,16 @@ def _cmd_cluster(args) -> int:
             print(f"  merged shards: {comp.get('adc_scored', 0)} ADC "
                   f"scorings, {comp.get('rerank_ndc', 0)} exact re-rank "
                   f"NDC (pq_sig shared: {merged.get('pq_sig')})")
+        if args.policy:
+            health = router.health()
+            print(f"  policy ({health.get('policy')}): worst score "
+                  f"{health.get('signal_score', 0.0):.3f}, "
+                  f"{health.get('storms_active', 0)} storms active "
+                  f"({health.get('storm_detections', 0)} detected), "
+                  f"{health.get('triggers_fired', 0)} triggers, "
+                  f"{health.get('repairs_skipped', 0)} repairs skipped, "
+                  f"{health.get('live_replicas')}/"
+                  f"{health.get('total_replicas')} replicas live")
     finally:
         router.close()
     return 0

@@ -95,6 +95,8 @@ class _ShardServer:
             rerank=int(spec.get("rerank", 50)),
             beam_width=(int(spec["beam_width"])
                         if spec.get("beam_width") else None),
+            policy=spec.get("policy"),
+            policy_config=spec.get("policy_config"),
         )
 
     def _fresh_store(self) -> None:

@@ -1,0 +1,27 @@
+"""Maintenance control plane: navigability signals + maintenance policies.
+
+Splits maintenance *decisions* (when to merge, when to admit/skip/request
+repairs, how big the repair budget is) from maintenance *execution* (the
+single-writer :class:`~repro.serving.MaintenanceScheduler`).  See
+``docs/architecture.md`` ("Maintenance control plane") for the state
+machine and the serving/cluster wiring.
+"""
+
+from repro.control.policy import (
+    POLICIES,
+    CadencePolicy,
+    MaintenancePolicy,
+    SignalPolicy,
+    make_policy,
+)
+from repro.control.signals import NavigabilitySignals, SignalSnapshot
+
+__all__ = [
+    "POLICIES",
+    "CadencePolicy",
+    "MaintenancePolicy",
+    "NavigabilitySignals",
+    "SignalPolicy",
+    "SignalSnapshot",
+    "make_policy",
+]

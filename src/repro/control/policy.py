@@ -1,0 +1,411 @@
+"""Maintenance policies: who decides when the scheduler merges and repairs.
+
+The :class:`~repro.serving.MaintenanceScheduler` *executes* maintenance —
+single-writer, WAL-journaled, off the query path.  A
+:class:`MaintenancePolicy` *decides* it.  The split matters because the
+decision rules are the part worth experimenting with, while the execution
+invariants (write serialization, journal order, epoch atomicity) must not
+vary per experiment.
+
+Two policies ship:
+
+- :class:`CadencePolicy` — the pre-refactor behavior, bit for bit: merge
+  once the overlay holds ``merge_every`` published ops, admit every
+  ``observe()`` and drain the whole repair queue each pass.  It is the
+  default; a scheduler constructed without an explicit policy behaves
+  exactly as it always did.
+- :class:`SignalPolicy` — navigability-driven: it consumes per-query
+  traces through :class:`~repro.control.signals.NavigabilitySignals`,
+  *skips* repair work while the graph looks healthy, and reacts to
+  threshold/slope crossings and delete storms with burst repair of
+  recently served queries plus an immediate epoch cut.  The repair budget
+  scales with the condition (storm > degraded > healthy).
+
+The policy state machine (see docs/architecture.md for the prose version)::
+
+                    score/slope under thresholds
+          +------------------ HEALTHY -------------------+
+          | admit: no (skip)   merge: defer to overlay cap|
+          |                                               |
+   score>=threshold or                        storm_deletes deletes
+   slope>=slope_threshold                     in storm_window mutations
+          v                                               v
+       DEGRADED  ----(storm detected)------------------> STORM
+       admit: yes, budget=repair_budget       admit: yes, budget=storm_budget
+       merge: at merge_every/2                merge: immediately
+          |                                               |
+          +---- score decays under threshold <--- burst drained + merged
+
+Thread-safety: policy methods are only ever invoked from the scheduler's
+decision points (``observe``/``note_mutations``/``run_pending``/
+``merge_now``) or from the trace sink, all of which the scheduler already
+serializes for mutation purposes; the policy keeps no locks of its own.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.control.signals import NavigabilitySignals, SignalSnapshot
+from repro.obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serving import MaintenanceScheduler
+
+_POLICY_SCORE = OBS.gauge(
+    "maintenance_policy_score",
+    "latest windowed navigability score (0 = at baseline)")
+_POLICY_TRIGGERS = OBS.counter(
+    "maintenance_policy_triggers",
+    "threshold/slope crossings that switched the policy to DEGRADED")
+_POLICY_SKIPPED = OBS.counter(
+    "maintenance_policy_repairs_skipped",
+    "observe() repairs skipped because the graph looked healthy")
+_POLICY_STORMS = OBS.counter(
+    "maintenance_policy_storms", "delete storms detected by the policy")
+_POLICY_REQUESTED = OBS.counter(
+    "maintenance_policy_repairs_requested",
+    "burst repairs the policy requested from the recent-query ring")
+_POLICY_DEFERRED = OBS.counter(
+    "maintenance_policy_deferred_merges",
+    "cadence-due merges the policy deferred while the graph was healthy")
+
+
+class MaintenancePolicy:
+    """Decision interface the scheduler consults at its trigger points.
+
+    Subclasses override the ``should_merge``/budget/admission hooks; the
+    scheduler guarantees they are called from serialized contexts only.
+    ``wants_traces`` opts the policy into the searcher's trace feed (and
+    the scheduler's recent-query ring); trace-blind policies pay zero
+    per-query overhead.
+    """
+
+    name = "base"
+    #: Whether the serving searcher should feed per-query traces (and the
+    #: scheduler keep a recent-query ring) for this policy.
+    wants_traces = False
+
+    def __init__(self) -> None:
+        self.scheduler: "MaintenanceScheduler | None" = None
+
+    def bind(self, scheduler: "MaintenanceScheduler") -> None:
+        """Attach to the owning scheduler (called from its constructor)."""
+        self.scheduler = scheduler
+
+    # -- inputs -------------------------------------------------------------
+
+    def on_trace(self, trace) -> None:
+        """One served query's trace (only called when ``wants_traces``)."""
+
+    def note_mutation(self, kind: str, n: int = 1) -> None:
+        """``n`` mutations of ``kind`` ("insert"/"delete") just committed."""
+
+    def on_merge(self) -> None:
+        """An epoch cut just committed (merge or bulk boundary)."""
+
+    # -- decisions ----------------------------------------------------------
+
+    def should_merge(self, overlay_ops: int) -> bool:
+        """Whether the scheduler should cut a fresh epoch now."""
+        raise NotImplementedError
+
+    def admit_repair(self) -> bool:
+        """Whether an ``observe()`` repair request should be queued."""
+        return True
+
+    def repair_budget(self) -> int | None:
+        """Repairs one unconstrained drain may run (None = drain all)."""
+        return None
+
+    def mutation_repair_budget(self) -> int:
+        """Repairs a mutation-triggered drain may run (0 = merge only)."""
+        return 0
+
+    def claim_repair_requests(self) -> int:
+        """Recent queries the scheduler should self-enqueue for repair.
+
+        Consumed (reset) by the call: the scheduler invokes this once per
+        drain and pulls that many queries off its recent-query ring.
+        """
+        return 0
+
+    def stats(self) -> dict:
+        return {"policy": self.name}
+
+
+class CadencePolicy(MaintenancePolicy):
+    """Fixed-cadence maintenance — the scheduler's historical behavior.
+
+    Merge exactly when the overlay reaches ``merge_every`` published ops,
+    admit every repair request, drain the whole queue every pass, never
+    self-enqueue work.  Decision-for-decision identical to the
+    pre-policy scheduler, which the bit-equivalence suite in
+    ``tests/test_control.py`` pins down.
+    """
+
+    name = "cadence"
+
+    def __init__(self, merge_every: int = 256):
+        super().__init__()
+        if merge_every <= 0:
+            raise ValueError(
+                f"merge_every must be positive, got {merge_every}")
+        self.merge_every = merge_every
+
+    def should_merge(self, overlay_ops: int) -> bool:
+        return overlay_ops >= self.merge_every
+
+    def stats(self) -> dict:
+        return {"policy": self.name, "merge_every": self.merge_every}
+
+
+class SignalPolicy(MaintenancePolicy):
+    """Navigability-triggered maintenance: repair when signals demand it.
+
+    Parameters
+    ----------
+    merge_every:
+        The cadence reference.  Healthy, the policy lets the overlay grow
+        to ``merge_every * max_overlay_factor`` before merging (deferral
+        is counted); DEGRADED it merges at ``merge_every // 2``; a STORM
+        merges immediately (folding the burst's tombstones into a fresh
+        epoch CSR).
+    score_threshold, slope_threshold, degraded_threshold:
+        DEGRADED entry conditions on the windowed score, its short-horizon
+        slope, and the deadline-degraded rate respectively.
+    min_traces:
+        Minimum window fill before score/slope triggers are trusted.
+    repair_budget_degraded, storm_repair_budget:
+        Repair budget scaling: per-drain cap while DEGRADED, and the size
+        of the one-shot burst (recent served queries re-fixed) a storm
+        requests.
+    signals:
+        An externally configured :class:`NavigabilitySignals`; by default
+        one is built with ``storm_deletes``/``storm_window``.
+    """
+
+    name = "signal"
+    wants_traces = True
+
+    def __init__(self, merge_every: int = 256, *,
+                 signals: NavigabilitySignals | None = None,
+                 score_threshold: float = 0.25,
+                 slope_threshold: float = 0.15,
+                 degraded_threshold: float = 0.05,
+                 min_traces: int = 16,
+                 max_overlay_factor: int = 4,
+                 repair_budget_degraded: int = 4,
+                 storm_repair_budget: int = 32,
+                 storm_deletes: int = 24,
+                 storm_window: int = 64,
+                 trigger_cooldown: int = 32):
+        super().__init__()
+        if merge_every <= 0:
+            raise ValueError(
+                f"merge_every must be positive, got {merge_every}")
+        if max_overlay_factor < 1:
+            raise ValueError(
+                f"max_overlay_factor must be >= 1, got {max_overlay_factor}")
+        self.merge_every = merge_every
+        self.signals = signals or NavigabilitySignals(
+            storm_deletes=storm_deletes, storm_window=storm_window)
+        self.score_threshold = score_threshold
+        self.slope_threshold = slope_threshold
+        self.degraded_threshold = degraded_threshold
+        self.min_traces = min_traces
+        self.max_overlay_factor = max_overlay_factor
+        self.repair_budget_degraded = repair_budget_degraded
+        self.storm_repair_budget = storm_repair_budget
+        self.trigger_cooldown = trigger_cooldown
+        # State machine bookkeeping.
+        self._storm_latched = False     # current mutation window is a storm
+        self._merge_pending = False     # storm demanded an immediate cut
+        self._burst_owed = 0            # ring repairs owed to the storm
+        self._trigger_owed = 0          # ring repairs owed to a threshold hit
+        self._cooldown_until = 0        # trace count gating the next trigger
+        self._last_overlay_ops = 0      # deferral edge detection
+        self._snapshot: SignalSnapshot | None = None
+        self._snapshot_version = -1
+        # Counters surfaced by stats() (and mirrored to OBS).
+        self.n_triggers = 0
+        self.n_storms = 0
+        self.n_skipped = 0
+        self.n_requested = 0
+        self.n_deferred = 0
+
+    def bind(self, scheduler: "MaintenanceScheduler") -> None:
+        super().bind(scheduler)
+        fixer = scheduler.fixer
+        manager = scheduler.manager
+
+        def overlay_depth() -> int:
+            overlay = manager.overlay
+            return overlay.n_ops if overlay is not None else 0
+
+        def tombstone_density() -> float:
+            size = fixer.dc.size
+            if not size:
+                return 0.0
+            return len(fixer.adjacency.tombstones) / size
+
+        self.signals.overlay_depth_fn = overlay_depth
+        self.signals.tombstone_density_fn = tombstone_density
+
+    # -- inputs -------------------------------------------------------------
+
+    def on_trace(self, trace) -> None:
+        self.signals.observe_trace(trace)
+
+    def note_mutation(self, kind: str, n: int = 1) -> None:
+        self.signals.note_mutation(kind, n)
+        if self.signals.storm_detected:
+            # Only a delete can start a storm (detection counts deletes),
+            # and one storm = one burst + one immediate cut (rising edge).
+            if kind == "delete" and not self._storm_latched:
+                self._storm_latched = True
+                self._merge_pending = True
+                self._burst_owed = self.storm_repair_budget
+                self.n_storms += 1
+                _POLICY_STORMS.inc()
+        else:
+            # Any mutation may drain the op window below the threshold —
+            # inserts included — and must re-arm detection when it does.
+            self._storm_latched = False
+
+    def on_merge(self) -> None:
+        self._merge_pending = False
+        self._last_overlay_ops = 0
+
+    # -- internal -----------------------------------------------------------
+
+    def _current(self) -> SignalSnapshot:
+        """The window's snapshot, memoized against the signals version."""
+        if self._snapshot_version != self.signals.version:
+            self._snapshot = self.signals.snapshot()
+            self._snapshot_version = self.signals.version
+            _POLICY_SCORE.set(self._snapshot.score)
+            if self._triggered(self._snapshot):
+                if self.signals.n_traces >= self._cooldown_until:
+                    self._cooldown_until = (self.signals.n_traces
+                                            + self.trigger_cooldown)
+                    self._trigger_owed = self.repair_budget_degraded
+                    self.n_triggers += 1
+                    _POLICY_TRIGGERS.inc()
+        return self._snapshot
+
+    def _triggered(self, snap: SignalSnapshot) -> bool:
+        if snap.n < self.min_traces:
+            return False
+        return (snap.score >= self.score_threshold
+                or snap.slope >= self.slope_threshold
+                or snap.degraded_rate >= self.degraded_threshold)
+
+    @property
+    def storming(self) -> bool:
+        """Whether the policy is currently reacting to a delete storm."""
+        return self._storm_latched or self._merge_pending or self._burst_owed > 0
+
+    # -- decisions ----------------------------------------------------------
+
+    def should_merge(self, overlay_ops: int) -> bool:
+        if overlay_ops <= 0:
+            return False
+        if self._merge_pending:
+            return True
+        if overlay_ops >= self.merge_every * self.max_overlay_factor:
+            return True  # bound overlay memory/lookup cost regardless
+        degraded = self._triggered(self._current())
+        if degraded and overlay_ops >= max(1, self.merge_every // 2):
+            return True
+        # Count each cadence-due point we sail past while healthy (edge-
+        # triggered on the crossing, not per poll).
+        if (overlay_ops >= self.merge_every
+                and self._last_overlay_ops < self.merge_every):
+            self.n_deferred += 1
+            _POLICY_DEFERRED.inc()
+        self._last_overlay_ops = overlay_ops
+        return False
+
+    def admit_repair(self) -> bool:
+        if self.storming or self._triggered(self._current()):
+            return True
+        self.n_skipped += 1
+        _POLICY_SKIPPED.inc()
+        return False
+
+    def repair_budget(self) -> int | None:
+        if self.storming:
+            return None  # drain the whole burst
+        if self._triggered(self._current()):
+            return self.repair_budget_degraded
+        return None  # anything queued was deliberately admitted; finish it
+
+    def mutation_repair_budget(self) -> int:
+        if self.storming:
+            return self.storm_repair_budget
+        if self._triggered(self._current()):
+            return self.repair_budget_degraded
+        return 0
+
+    def claim_repair_requests(self) -> int:
+        owed = self._burst_owed + self._trigger_owed
+        self._burst_owed = 0
+        self._trigger_owed = 0
+        if owed:
+            self.n_requested += owed
+            _POLICY_REQUESTED.inc(owed)
+        return owed
+
+    def stats(self) -> dict:
+        snap = self._current()
+        return {
+            "policy": self.name,
+            "merge_every": self.merge_every,
+            # Score-like gauges merge by max across shards (worst shard is
+            # the cluster's health) — see repro.cluster.stats.MAX_KEYS.
+            "signal_score": snap.score,
+            "signal_slope": snap.slope,
+            "signal_traces": self.signals.n_traces,
+            "degraded_rate": snap.degraded_rate,
+            "tombstone_density": snap.tombstone_density,
+            # 0/1 int (not bool) so the cluster rollup sums shards in storm
+            # instead of AND-ing them.
+            "storm_active": int(self.storming),
+            "storm_detections": self.n_storms,
+            "triggers_fired": self.n_triggers,
+            "repairs_skipped": self.n_skipped,
+            "repairs_requested": self.n_requested,
+            "deferred_merges": self.n_deferred,
+        }
+
+
+#: Registry for string-configured policy selection (store/CLI/cluster spec).
+POLICIES = {"cadence": CadencePolicy, "signal": SignalPolicy}
+
+
+def make_policy(spec, merge_every: int,
+                config: dict | None = None) -> MaintenancePolicy | None:
+    """Build a policy from a spec: None, a name, or a ready instance.
+
+    ``None`` returns None (the scheduler installs its own default
+    :class:`CadencePolicy`, preserving the historical default path
+    exactly); a string looks up :data:`POLICIES` and forwards ``config``
+    as keyword arguments; an instance passes through unchanged.
+    """
+    if spec is None:
+        if config:
+            raise ValueError("policy_config requires an explicit policy")
+        return None
+    if isinstance(spec, MaintenancePolicy):
+        if config:
+            raise ValueError(
+                "policy_config cannot be combined with a policy instance")
+        return spec
+    try:
+        cls = POLICIES[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {spec!r}; expected one of "
+            f"{sorted(POLICIES)} or a MaintenancePolicy instance") from None
+    return cls(merge_every, **(config or {}))

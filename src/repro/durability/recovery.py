@@ -147,6 +147,7 @@ def read_store_config(wal_dir: str | pathlib.Path) -> dict | None:
 def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             serving: bool | None = None, scheduler_mode: str | None = None,
             merge_every: int | None = None, sync_every: int | None = None,
+            policy=None, policy_config: dict | None = None,
             replay_observes: bool = True, attach_wal: bool = True):
     """Rebuild a store from ``wal_dir``; returns ``(store, report)``.
 
@@ -182,6 +183,10 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
     pq_m = config.get("pq_m")
     pq_ks = int(config.get("pq_ks", 32))
     rerank = int(config.get("rerank", 50))
+    if policy is None:
+        policy = config.get("policy")
+        if policy_config is None:
+            policy_config = config.get("policy_config")
 
     snapshots = SnapshotManager(wal_dir)
     info = snapshots.latest()
@@ -206,7 +211,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             M=M, ef_construction=ef_construction, fix_config=fix_config,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
             merge_every=merge_every, compressed=compressed, pq_m=pq_m,
-            pq_ks=pq_ks, rerank=rerank)
+            pq_ks=pq_ks, rerank=rerank,
+            policy=policy, policy_config=policy_config)
         payloads = {}
         if info.payloads_path.exists():
             payloads = {int(k): v for k, v in json.loads(
@@ -229,7 +235,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             M=M, ef_construction=ef_construction, fix_config=fix_config,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
             merge_every=merge_every, compressed=compressed, pq_m=pq_m,
-            pq_ks=pq_ks, rerank=rerank)
+            pq_ks=pq_ks, rerank=rerank,
+            policy=policy, policy_config=policy_config)
         snap_seq = 0
         base_n = 0
 

@@ -9,10 +9,17 @@ every figure of Section 6.
 """
 
 from repro.evalx.ground_truth import GroundTruth, compute_ground_truth
-from repro.evalx.metrics import recall_at_k, rderr_at_k, recall_per_query
+from repro.evalx.metrics import (
+    recall_at_k,
+    recall_per_query,
+    recall_percentiles,
+    rderr_at_k,
+)
 from repro.evalx.runner import (
     ChurnReport,
     OperatingPoint,
+    StormReport,
+    delete_storm_workload,
     evaluate_index,
     interleaved_workload,
     sweep,
@@ -21,7 +28,7 @@ from repro.evalx.runner import (
     ndc_at_recall,
     ef_for_recall,
 )
-from repro.evalx.reporting import format_table
+from repro.evalx.reporting import format_percentiles, format_table
 from repro.evalx.significance import bootstrap_ci, paired_bootstrap_diff
 from repro.evalx.tuning import TuningResult, tune_fix_config
 
@@ -31,8 +38,11 @@ __all__ = [
     "recall_at_k",
     "rderr_at_k",
     "recall_per_query",
+    "recall_percentiles",
     "OperatingPoint",
     "ChurnReport",
+    "StormReport",
+    "delete_storm_workload",
     "evaluate_index",
     "interleaved_workload",
     "sweep",
@@ -40,6 +50,7 @@ __all__ = [
     "ndc_at_rderr",
     "ndc_at_recall",
     "ef_for_recall",
+    "format_percentiles",
     "format_table",
     "bootstrap_ci",
     "paired_bootstrap_diff",

@@ -39,6 +39,25 @@ def recall_at_k(found_ids: np.ndarray, gt_ids: np.ndarray) -> float:
     return float(recall_per_query(found_ids, gt_ids).mean())
 
 
+def recall_percentiles(per_query: np.ndarray,
+                       percentiles=(50, 95, 99)) -> dict[str, float]:
+    """Tail percentiles of a per-query recall array.
+
+    Recall is a higher-is-better metric, so "p99 recall" follows the
+    latency convention on the *lower* tail: the value R such that 99% of
+    queries achieve recall >= R (i.e. ``np.percentile(values, 100 - p)``).
+    A mean that hides a collapsed tail — the failure mode of churn under
+    fixed-cadence maintenance — shows up here as p99 falling away from p50.
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}``; empty input yields
+    zeros.
+    """
+    values = np.asarray(per_query, dtype=np.float64).ravel()
+    if values.size == 0:
+        return {f"p{p:g}": 0.0 for p in percentiles}
+    return {f"p{p:g}": float(np.percentile(values, 100.0 - p))
+            for p in percentiles}
+
+
 def rderr_per_query(found_distances: np.ndarray, gt_distances: np.ndarray) -> np.ndarray:
     """rderr@k for each query from aligned found/exact distance rows."""
     found = np.asarray(found_distances, dtype=np.float64)

@@ -25,6 +25,13 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def format_percentiles(percentiles: dict, prefix: str = "recall") -> str:
+    """One-line ``recall p50=0.98 p95=0.95 p99=0.90`` summary string."""
+    parts = " ".join(f"{name}={_fmt(float(value))}"
+                     for name, value in percentiles.items())
+    return f"{prefix} {parts}" if parts else prefix
+
+
 def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
     """Render rows as an aligned monospace table."""
     str_rows = [[_fmt(cell) for cell in row] for row in rows]

@@ -18,7 +18,7 @@ import time
 import numpy as np
 
 from repro.evalx.ground_truth import GroundTruth
-from repro.evalx.metrics import recall_per_query, rderr_per_query
+from repro.evalx.metrics import recall_per_query, recall_percentiles, rderr_per_query
 from repro.obs import OBS
 from repro.utils.parallel import chunk_bounds, effective_workers, parallel_map
 from repro.utils.validation import check_positive
@@ -240,6 +240,14 @@ def ef_for_recall(points: list[OperatingPoint], target_recall: float) -> int | N
     return None
 
 
+def _maintenance_seconds(scheduler) -> float:
+    """Cumulative repair+merge wall-clock a scheduler has spent (0 sans one)."""
+    if scheduler is None:
+        return 0.0
+    return (getattr(scheduler, "repair_seconds", 0.0)
+            + getattr(scheduler, "merge_seconds", 0.0))
+
+
 @dataclasses.dataclass
 class ChurnReport:
     """Outcome of one interleaved search/mutation (churn) run.
@@ -250,6 +258,14 @@ class ChurnReport:
     the latter.  ``query_path_freezes`` is the number of O(E) CSR rebuilds
     that ran on the query path: total freezes minus those attributable to
     epoch cuts — the serving layer's contract is that this is zero.
+
+    ``recall_p50``/``recall_p95``/``recall_p99`` are lower-tail percentiles
+    (the recall 50/95/99% of queries meet or beat — see
+    :func:`~repro.evalx.metrics.recall_percentiles`); churn damage that a
+    mean hides shows up as ``recall_p99`` collapsing.
+    ``maintenance_seconds`` is the scheduler's cumulative repair + merge
+    wall-clock attributable to this run — the cost a maintenance policy is
+    judged on.
     """
 
     n_queries: int
@@ -263,6 +279,10 @@ class ChurnReport:
     merges: int
     repairs: int
     query_path_freezes: int
+    recall_p50: float = 0.0
+    recall_p95: float = 0.0
+    recall_p99: float = 0.0
+    maintenance_seconds: float = 0.0
 
 
 def interleaved_workload(
@@ -342,6 +362,7 @@ def interleaved_workload(
     scheduler = getattr(store, "scheduler", None)
     merges0 = scheduler.n_merges if scheduler is not None else 0
     repairs0 = scheduler.n_repairs if scheduler is not None else 0
+    maint0 = _maintenance_seconds(scheduler)
 
     n_batches = 0
     for start in range(0, queries.shape[0], batch_size):
@@ -374,7 +395,9 @@ def interleaved_workload(
             n_observed += 1
         mutation_s += time.perf_counter() - t0
 
-    recall = float(recall_per_query(found_ids, gt_k.ids).mean())
+    per_query = recall_per_query(found_ids, gt_k.ids)
+    pct = recall_percentiles(per_query)
+    recall = float(per_query.mean())
     freezes = getattr(adjacency, "n_freezes", 0) - freezes0
     cuts = (manager.n_cuts - cuts0) if manager is not None else 0
     if OBS.enabled:
@@ -393,4 +416,182 @@ def interleaved_workload(
         merges=(scheduler.n_merges - merges0) if scheduler is not None else 0,
         repairs=(scheduler.n_repairs - repairs0) if scheduler is not None else 0,
         query_path_freezes=freezes - cuts,
+        recall_p50=pct["p50"],
+        recall_p95=pct["p95"],
+        recall_p99=pct["p99"],
+        maintenance_seconds=_maintenance_seconds(scheduler) - maint0,
+    )
+
+
+@dataclasses.dataclass
+class StormReport:
+    """Outcome of one bursty delete-storm run (the adversarial churn
+    protocol).
+
+    Same accounting conventions as :class:`ChurnReport` — ``qps`` over
+    search seconds only, recall percentiles on the lower tail,
+    ``maintenance_seconds`` = the scheduler's repair + merge wall-clock —
+    plus storm bookkeeping.  ``n_queries`` counts query *executions*
+    (each round re-serves the query set; recurring traffic is what makes
+    post-storm repair pay off, and what the p99 gate measures).
+    """
+
+    n_queries: int
+    n_storms: int
+    n_deletes: int
+    n_reinserts: int
+    n_observed: int
+    recall: float
+    recall_p50: float
+    recall_p95: float
+    recall_p99: float
+    qps: float
+    search_seconds: float
+    mutation_seconds: float
+    maintenance_seconds: float
+    repairs: int
+    merges: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def delete_storm_workload(
+    store,
+    queries: np.ndarray,
+    gt: GroundTruth,
+    k: int,
+    ef: int,
+    *,
+    batch_size: int = 16,
+    rounds: int = 3,
+    storm_every: int = 12,
+    storm_size: int = 24,
+    calm_mutations: int = 2,
+    observe_every: int = 1,
+    seed: int = 0,
+    vectors: np.ndarray | None = None,
+) -> StormReport:
+    """Serve queries under bursty delete storms (tail-recall stressor).
+
+    The steady-state churn of :func:`interleaved_workload` spreads
+    mutations evenly; this protocol is adversarial instead: every
+    ``storm_every``-th query batch deletes ``storm_size`` ids in one call
+    (tombstones pile up and compaction rewires edges store-wide), while
+    calm batches trickle ``calm_mutations`` re-inserts of previously
+    deleted vectors so the corpus size recovers between storms.  The query
+    set is served ``rounds`` times so post-storm traffic revisits the
+    damaged regions — exactly the traffic a signal-driven policy repairs
+    for.
+
+    Like the steady-state protocol, storms are *recall-neutral by
+    construction* (only ids outside every query's ground-truth top-k are
+    deleted), so any recall drop — and in particular the p99 tail this
+    harness gates on — is navigability damage, not missing answers.
+
+    ``observe_every > 0`` offers every Nth batch's first query to
+    ``store.observe``: the repair feedback stream a cadence policy repairs
+    unconditionally and a signal policy admits selectively.
+
+    Determinism: storms fire on batch counts, deletions follow a seeded
+    shuffle, and the policy's storm detector counts operations — the run
+    is reproducible wall-clock-free.
+    """
+    check_positive(k, "k")
+    check_positive(batch_size, "batch_size")
+    check_positive(rounds, "rounds")
+    check_positive(storm_every, "storm_every")
+    check_positive(storm_size, "storm_size")
+    queries = np.asarray(queries, dtype=np.float32)
+    gt_k = gt.top(k)
+    rng = np.random.default_rng(seed)
+
+    def vector_of(vid: int) -> np.ndarray:
+        if vectors is not None:
+            return np.array(vectors[vid], copy=True)
+        return np.array(store.dc.data[vid], copy=True)
+
+    protected = set(np.unique(gt_k.ids).tolist())
+    churn_ids = [i for i in range(store.dc.size) if i not in protected]
+    rng.shuffle(churn_ids)
+    if len(churn_ids) < storm_size:
+        raise ValueError(
+            f"only {len(churn_ids)} churn-eligible ids for storms of "
+            f"{storm_size}; grow the corpus or shrink storm_size")
+
+    scheduler = getattr(store, "scheduler", None)
+    merges0 = scheduler.n_merges if scheduler is not None else 0
+    repairs0 = scheduler.n_repairs if scheduler is not None else 0
+    maint0 = _maintenance_seconds(scheduler)
+
+    n_q = queries.shape[0]
+    found_ids = np.full((rounds * n_q, k), -1, dtype=np.int64)
+    pending_reinserts: list[tuple[int, np.ndarray]] = []
+    churn_cursor = 0
+    search_s = 0.0
+    mutation_s = 0.0
+    n_storms = n_deletes = n_reinserts = n_observed = 0
+    n_batches = 0
+
+    for r in range(rounds):
+        for start in range(0, n_q, batch_size):
+            block = queries[start:start + batch_size]
+            t0 = time.perf_counter()
+            results = store.search_batch(block, k, ef, batch_size=batch_size)
+            search_s += time.perf_counter() - t0
+            row0 = r * n_q + start
+            for i, result in enumerate(results):
+                m = min(k, len(result.ids))
+                found_ids[row0 + i, :m] = result.ids[:m]
+
+            n_batches += 1
+            t0 = time.perf_counter()
+            if n_batches % storm_every == 0:
+                # The storm: one burst delete call, tombstones land at once.
+                take = min(storm_size, len(churn_ids) - churn_cursor)
+                if take > 0:
+                    victims = churn_ids[churn_cursor:churn_cursor + take]
+                    churn_cursor += take
+                    pending_reinserts.extend(
+                        (v, vector_of(v)) for v in victims)
+                    store.delete(victims)
+                    n_deletes += take
+                    n_storms += 1
+            else:
+                for _ in range(calm_mutations):
+                    if not pending_reinserts:
+                        break
+                    _, vector = pending_reinserts.pop(0)
+                    store.add(vector[None, :])
+                    n_reinserts += 1
+            if observe_every and n_batches % observe_every == 0:
+                store.observe(block[0])
+                n_observed += 1
+            mutation_s += time.perf_counter() - t0
+
+    gt_tiled = np.tile(gt_k.ids, (rounds, 1))
+    per_query = recall_per_query(found_ids, gt_tiled)
+    pct = recall_percentiles(per_query)
+    if OBS.enabled:
+        _CHURN_SEARCH_SECONDS.inc(search_s)
+        _CHURN_MUTATION_SECONDS.inc(mutation_s)
+        _CHURN_MUTATIONS.inc(n_deletes + n_reinserts)
+    return StormReport(
+        n_queries=rounds * n_q,
+        n_storms=n_storms,
+        n_deletes=n_deletes,
+        n_reinserts=n_reinserts,
+        n_observed=n_observed,
+        recall=float(per_query.mean()),
+        recall_p50=pct["p50"],
+        recall_p95=pct["p95"],
+        recall_p99=pct["p99"],
+        qps=rounds * n_q / max(search_s, 1e-9),
+        search_seconds=search_s,
+        mutation_seconds=mutation_s,
+        maintenance_seconds=_maintenance_seconds(scheduler) - maint0,
+        repairs=(scheduler.n_repairs - repairs0
+                 if scheduler is not None else 0),
+        merges=(scheduler.n_merges - merges0
+                if scheduler is not None else 0),
     )

@@ -28,6 +28,10 @@ Registered injection points (every site documents itself by calling
 ``snapshot.pre_manifest`` snapshot + payloads durable, before the manifest
                           (the commit point) is published
 ``scheduler.pre_merge``   inside ``merge_now`` before the epoch cut
+``scheduler.pre_repair``  inside ``run_pending``'s drain loop, before each
+                          online repair commits (the repair is journaled
+                          only after it commits, so a kill here is replay-
+                          invisible)
 ``worker.drain``          top of ``MaintenanceScheduler.run_pending``
 ``cluster.worker_op``     top of a shard worker's request dispatch, before
                           the op applies (no ack ⇒ not applied, so the

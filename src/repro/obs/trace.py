@@ -32,6 +32,7 @@ class QueryTrace:
     cache_hit: bool = False
     batched: bool = False
     queue_depth: int = 0
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -45,6 +45,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.control.policy import CadencePolicy, MaintenancePolicy
 from repro.faults import FAULTS
 from repro.graphs.csr import CSRGraphView
 from repro.graphs.search import BatchSearchEngine, SearchResult, VisitedTable, greedy_search
@@ -479,6 +480,11 @@ class ServingSearcher:
         # Telemetry hook: the owning store points this at its scheduler's
         # queue so per-query traces carry the repair backlog.
         self.queue_depth_fn = None
+        # Control-plane hook: when a trace-hungry maintenance policy is
+        # installed the store points this at the scheduler's ``note_trace``.
+        # None (the default) keeps the hot path free of trace construction
+        # unless telemetry is on — trace-blind policies pay nothing.
+        self.trace_sink = None
 
     @property
     def dc(self):
@@ -583,7 +589,9 @@ class ServingSearcher:
         dc = self.dc
         q = dc.prepare_query(query)
         telemetry = OBS.enabled
-        if telemetry:
+        sink = self.trace_sink
+        track = telemetry or sink is not None
+        if track:
             t0 = time.perf_counter()
             ndc0 = dc.ndc
         if self.adc is not None:
@@ -592,16 +600,21 @@ class ServingSearcher:
             if result.degraded:
                 self.n_degraded += 1
                 _DEGRADED.inc()
-            if telemetry:
-                _SERVE_QUERIES.inc()
-                TRACES.record(QueryTrace(
+            if track:
+                trace = QueryTrace(
                     k=k, ef=ef, n_hops=result.n_hops, ndc=dc.ndc - ndc0,
                     frontier_peak=result.frontier_peak,
                     epoch_id=epoch_id, overlay_seq=seq, pin_seconds=pin_s,
                     elapsed_seconds=time.perf_counter() - t0,
                     queue_depth=(self.queue_depth_fn()
                                  if self.queue_depth_fn is not None else 0),
-                ))
+                    degraded=result.degraded,
+                )
+                if telemetry:
+                    _SERVE_QUERIES.inc()
+                    TRACES.record(trace)
+                if sink is not None:
+                    sink(trace, query=q)
             return result
         with self.manager.pin() as pin:
             view = pin.view
@@ -614,9 +627,8 @@ class ServingSearcher:
             if result.degraded:
                 self.n_degraded += 1
                 _DEGRADED.inc()
-            if telemetry:
-                _SERVE_QUERIES.inc()
-                TRACES.record(QueryTrace(
+            if track:
+                trace = QueryTrace(
                     k=k, ef=ef, n_hops=result.n_hops,
                     ndc=dc.ndc - ndc0,
                     frontier_peak=result.frontier_peak,
@@ -625,7 +637,13 @@ class ServingSearcher:
                     elapsed_seconds=time.perf_counter() - t0,
                     queue_depth=(self.queue_depth_fn()
                                  if self.queue_depth_fn is not None else 0),
-                ))
+                    degraded=result.degraded,
+                )
+                if telemetry:
+                    _SERVE_QUERIES.inc()
+                    TRACES.record(trace)
+                if sink is not None:
+                    sink(trace, query=q)
         return result
 
     # -- batched path -------------------------------------------------------
@@ -672,6 +690,9 @@ class ServingSearcher:
                     lambda qmat: [self._block_pin.epoch.entry]),
             )
             self._engine = engine
+        sink = self.trace_sink
+        if sink is not None:
+            ndc0 = self.dc.ndc
         try:
             if compressed:
                 results = self._search_batch_compressed(engine, queries, k,
@@ -684,11 +705,29 @@ class ServingSearcher:
                 if n_degraded:
                     self.n_degraded += n_degraded
                     _DEGRADED.inc(n_degraded)
+            if sink is not None:
+                self._sink_batch_traces(sink, queries, results, k, ef, ndc0)
             return results
         finally:
             if self._block_pin is not None:
                 self._block_pin.release()
                 self._block_pin = None
+
+    def _sink_batch_traces(self, sink, queries: np.ndarray,
+                           results: list[SearchResult], k: int, ef: int,
+                           ndc0: int) -> None:
+        """Feed per-result traces to the control plane after a batch.
+
+        Distance computations are block-shared, so each trace carries the
+        batch-averaged NDC — the policy consumes window means, for which
+        the average is the right per-query attribution.
+        """
+        qmat = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        ndc_each = int((self.dc.ndc - ndc0) / max(len(results), 1))
+        for row, r in zip(qmat, results):
+            sink(QueryTrace(k=k, ef=ef, n_hops=r.n_hops, ndc=ndc_each,
+                            frontier_peak=r.frontier_peak, batched=True,
+                            degraded=r.degraded), query=row)
 
     def _search_batch_compressed(self, engine: BatchSearchEngine,
                                  queries: np.ndarray, k: int, ef: int,
@@ -775,11 +814,23 @@ class MaintenanceScheduler:
     :meth:`run_pending`) — fully deterministic, no threads.
     ``mode="thread"`` runs the same drain loop on a daemon worker so repair
     and merging overlap serving; :meth:`flush` waits for quiescence.
+
+    **Control plane.**  *When* to merge, whether to admit an ``observe()``
+    repair, and how many repairs a drain may run are delegated to a
+    :class:`~repro.control.MaintenancePolicy` — the scheduler keeps only
+    the execution invariants (write serialization, journal order, epoch
+    atomicity).  The default :class:`~repro.control.CadencePolicy` is
+    decision-for-decision identical to the historical fixed-cadence
+    behavior; a :class:`~repro.control.SignalPolicy` consumes query traces
+    (via :meth:`note_trace`) and mutation notices (via
+    :meth:`note_mutation_kind`) to trigger maintenance from navigability
+    signals instead.
     """
 
     def __init__(self, fixer, manager: EpochManager, *,
                  merge_every: int = 256, queue_limit: int = 64,
-                 mode: str = "inline"):
+                 mode: str = "inline",
+                 policy: MaintenancePolicy | None = None):
         if merge_every <= 0:
             raise ValueError(f"merge_every must be positive, got {merge_every}")
         if mode not in ("inline", "thread"):
@@ -789,6 +840,15 @@ class MaintenanceScheduler:
         self.merge_every = merge_every
         self.queue_limit = queue_limit
         self.mode = mode
+        self.policy = policy if policy is not None else CadencePolicy(
+            merge_every)
+        self.policy.bind(self)
+        # Recent served queries a trace-hungry policy may claim for burst
+        # repair (newest first).  Trace-blind policies keep it None so the
+        # serving path never copies query vectors it won't use.
+        self.recent_queries: deque[np.ndarray] | None = (
+            deque(maxlen=max(queue_limit, 1))
+            if self.policy.wants_traces else None)
         self.write_lock = threading.RLock()
         self._queue: deque[np.ndarray] = deque()
         self._idle = threading.Condition()
@@ -809,6 +869,9 @@ class MaintenanceScheduler:
         # log so repair/merge commits are journaled (see repro.durability).
         self.wal = None
         self.last_merge_seconds = 0.0
+        self.repair_seconds = 0.0   # cumulative online-repair wall-clock
+        self.merge_seconds = 0.0    # cumulative epoch-cut wall-clock
+        self.n_policy_repairs = 0   # repairs the policy self-enqueued
         self._last_heartbeat = time.monotonic()
         OBS.gauge_fn("maintenance_queue_depth", lambda: len(self._queue),
                      "repair queries waiting in the scheduler queue")
@@ -833,7 +896,14 @@ class MaintenanceScheduler:
         the *oldest* entry (the most recent traffic best reflects the
         current workload).  Inline mode drains immediately; thread mode
         wakes the worker.  Returns True when the query was accepted.
+
+        The maintenance policy sees the request first: a signal-driven
+        policy declines repair feedback while the graph looks healthy
+        (``maintenance_policy_repairs_skipped``), which is where its cost
+        savings come from.  The default cadence policy admits everything.
         """
+        if not self.policy.admit_repair():
+            return False
         if self._should_shed():
             self.n_shed += 1
             _OBSERVE_SHED.inc()
@@ -864,13 +934,38 @@ class MaintenanceScheduler:
         if not self._merge_due():
             return
         if self.mode == "inline":
-            self.run_pending(max_repairs=0)
+            # The policy bounds how much repair may piggyback on a
+            # mutation-triggered drain: 0 for cadence (merge only, the
+            # historical behavior), a storm/degraded budget for signal.
+            self.run_pending(max_repairs=self.policy.mutation_repair_budget())
         else:
             self._wake.set()
 
+    def note_trace(self, trace, query: np.ndarray | None = None) -> None:
+        """Control-plane feed: one served query's trace (+ its vector).
+
+        Wired as ``ServingSearcher.trace_sink`` when the policy wants
+        traces.  The query vector is copied into the recent-query ring so
+        a policy-requested burst repair can re-fix exactly the traffic
+        that was being served when navigability degraded.
+        """
+        if self.recent_queries is not None and query is not None:
+            self.recent_queries.append(
+                np.array(query, dtype=np.float32, copy=True))
+        self.policy.on_trace(trace)
+
+    def note_mutation_kind(self, kind: str, n: int = 1) -> None:
+        """Control-plane feed: ``n`` committed mutations of ``kind``.
+
+        Mutation paths call this *before* :meth:`note_mutations` so the
+        policy's storm detector sees the delete pressure that the very
+        next merge decision should react to.
+        """
+        self.policy.note_mutation(kind, n)
+
     def _merge_due(self) -> bool:
         overlay = self.manager.overlay
-        return overlay is not None and overlay.n_ops >= self.merge_every
+        return overlay is not None and self.policy.should_merge(overlay.n_ops)
 
     # -- draining -----------------------------------------------------------
 
@@ -884,18 +979,27 @@ class MaintenanceScheduler:
         self._last_heartbeat = time.monotonic()
         FAULTS.fire("worker.drain")
         with self.write_lock:
-            while max_repairs is None or repaired < max_repairs:
+            self._enqueue_policy_repairs()
+            budget = (self.policy.repair_budget() if max_repairs is None
+                      else max_repairs)
+            while budget is None or repaired < budget:
                 with self._idle:
                     if not self._queue:
                         break
                     query = self._queue.popleft()
+                # Chaos hook: a crash here loses the in-flight repair but
+                # nothing else — it was never journaled (see below), so
+                # replay simply skips it.
+                FAULTS.fire("scheduler.pre_repair")
                 t0 = time.perf_counter()
                 self.fixer.fix_query(query)
                 # Journal the repair only after it committed to the graph:
                 # replay re-runs exactly the repairs that actually landed.
                 if self.wal is not None:
                     self.wal.log_observe(query)
-                _REPAIR_SECONDS.observe(time.perf_counter() - t0)
+                elapsed = time.perf_counter() - t0
+                self.repair_seconds += elapsed
+                _REPAIR_SECONDS.observe(elapsed)
                 _REPAIRS.inc()
                 self.n_repairs += 1
                 repaired += 1
@@ -907,6 +1011,25 @@ class MaintenanceScheduler:
             self._idle.notify_all()
         return {"repaired": repaired, "merged": merged}
 
+    def _enqueue_policy_repairs(self) -> None:
+        """Pull policy-requested burst repairs off the recent-query ring.
+
+        A storm or threshold trigger makes the policy *request* repairs
+        (``claim_repair_requests``); the scheduler satisfies them from the
+        newest served queries so the burst re-fixes exactly the traffic
+        that exposed the degradation.  No-op for trace-blind policies.
+        """
+        if self.recent_queries is None:
+            return
+        want = self.policy.claim_repair_requests()
+        if want <= 0:
+            return
+        with self._idle:
+            while want > 0 and self.recent_queries:
+                self._queue.append(self.recent_queries.pop())
+                self.n_policy_repairs += 1
+                want -= 1
+
     def merge_now(self) -> GraphEpoch:
         """Cut a fresh epoch from the live graph (O(E), off the query path)."""
         with self.write_lock:
@@ -916,9 +1039,11 @@ class MaintenanceScheduler:
             if self.wal is not None:
                 self.wal.log_merge_cut()
             self.last_merge_seconds = time.perf_counter() - start
+            self.merge_seconds += self.last_merge_seconds
             self.n_merges += 1
             _MERGES.inc()
             _MERGE_SECONDS.observe(self.last_merge_seconds)
+            self.policy.on_merge()
             return epoch
 
     def bulk(self):
@@ -1032,6 +1157,10 @@ class MaintenanceScheduler:
             "flush_timeouts": self.n_flush_timeouts,
             "failed_joins": self.n_failed_joins,
             "last_merge_seconds": self.last_merge_seconds,
+            "repair_seconds": self.repair_seconds,
+            "merge_seconds": self.merge_seconds,
+            "policy_repairs": self.n_policy_repairs,
+            "policy": self.policy.stats(),
             "worker_alive": self.worker_alive(),
             "worker_errors": self.n_worker_errors,
             "worker_last_error": self.last_worker_error,
@@ -1070,6 +1199,7 @@ class _BulkContext:
                 scheduler.manager.cut(entry=scheduler.fixer.entry)
                 scheduler.n_merges += 1
                 _MERGES.inc()
+                scheduler.policy.on_merge()
             else:
                 scheduler.manager.resume_overlay()
                 scheduler.n_bulk_aborts += 1

@@ -22,6 +22,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.control.policy import MaintenancePolicy, make_policy
 from repro.core.fixer import FixConfig, NGFixer
 from repro.core.maintenance import IndexMaintainer
 from repro.distances import Metric
@@ -100,6 +101,15 @@ class VectorStore:
         and serves it through ``np.memmap`` — the disk-resident vector
         tier.  With ``compressed`` the traversal never touches it; only
         re-rank gathers page rows in.
+    policy, policy_config:
+        Maintenance control plane (:mod:`repro.control`): ``None``
+        (default) keeps the historical fixed-cadence behavior exactly;
+        ``"cadence"`` selects it explicitly; ``"signal"`` triggers
+        merge/repair from navigability signals (query-trace hardness,
+        delete storms, tombstone density) instead of fixed counts.
+        ``policy_config`` passes keyword arguments to the named policy's
+        constructor; a ready :class:`~repro.control.MaintenancePolicy`
+        instance is also accepted.
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
@@ -112,7 +122,9 @@ class VectorStore:
                  compressed: bool = False, pq_m: int | None = None,
                  pq_ks: int = 32, rerank: int = 50,
                  memmap_path: str | pathlib.Path | None = None,
-                 beam_width: int | None = None):
+                 beam_width: int | None = None,
+                 policy: str | MaintenancePolicy | None = None,
+                 policy_config: dict | None = None):
         check_positive(dim, "dim")
         if beam_width is not None:
             check_positive(beam_width, "beam_width")
@@ -143,6 +155,14 @@ class VectorStore:
         self._serving_enabled = serving
         self._scheduler_mode = scheduler_mode
         self._merge_every = merge_every
+        # Validate + construct the maintenance policy up front (fail fast
+        # on unknown names/bad config); None keeps the scheduler's own
+        # cadence default so the historical path is untouched.
+        self._policy = make_policy(policy, merge_every, policy_config)
+        self._policy_name = (policy if isinstance(policy, str)
+                             else self._policy.name
+                             if self._policy is not None else None)
+        self._policy_config = dict(policy_config) if policy_config else None
         self._manager: EpochManager | None = None
         self._searcher: ServingSearcher | None = None
         self._scheduler: MaintenanceScheduler | None = None
@@ -176,6 +196,8 @@ class VectorStore:
             "compressed": self._compressed,
             "pq_m": self._pq_m, "pq_ks": self._pq_ks,
             "rerank": self._rerank,
+            "policy": self._policy_name,
+            "policy_config": self._policy_config,
         }))
         self._wal = WriteAheadLog(wal_dir, sync_every=sync_every)
         self._snapshots = SnapshotManager(wal_dir)
@@ -249,6 +271,9 @@ class VectorStore:
                 if self._wal is not None:
                     self._wal.log_insert(ids[0] if ids else 0, vectors,
                                          payloads)
+                # Feed the policy before the deferred merge callback fires
+                # so the merge decision sees this batch's pressure.
+                self._scheduler.note_mutation_kind("insert", len(ids))
         else:
             ids = self._maintainer.insert(vectors)
             self._sync_codes()
@@ -339,7 +364,7 @@ class VectorStore:
                                          beam_width=self._beam_width)
         self._scheduler = MaintenanceScheduler(
             self._fixer, self._manager, merge_every=self._merge_every,
-            mode=self._scheduler_mode)
+            mode=self._scheduler_mode, policy=self._policy)
         self._maintainer.on_change = self._scheduler.note_mutations
         scheduler = self._scheduler
 
@@ -347,6 +372,11 @@ class VectorStore:
             return len(scheduler._queue)
 
         self._searcher.queue_depth_fn = queue_depth
+        if self._scheduler.policy.wants_traces:
+            # Trace-hungry policies (SignalPolicy) get the per-query feed;
+            # the default cadence policy leaves the sink None so the hot
+            # path builds no traces unless telemetry is on.
+            self._searcher.trace_sink = self._scheduler.note_trace
         self._scheduler.wal = self._wal
         if self._scheduler_mode == "thread":
             self._scheduler.start()
@@ -489,6 +519,11 @@ class VectorStore:
                     compacted = self._maintainer.delete(ids)
                     if self._wal is not None:
                         self._wal.log_delete(ids)
+                    # Inside the deferred window: the storm detector must
+                    # see these deletes before the held-back merge-cadence
+                    # callback evaluates its decision on block exit.
+                    self._scheduler.note_mutation_kind(
+                        "delete", np.atleast_1d(np.asarray(ids)).size)
                 if compacted:
                     self._scheduler.merge_now()
         else:

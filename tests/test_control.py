@@ -1,0 +1,569 @@
+"""Maintenance control plane: signals, policies, and scheduler wiring.
+
+Covers the three layers of the policy refactor:
+
+- :mod:`repro.control.signals` — windowed aggregation, baseline locking,
+  and op-count storm detection in isolation;
+- :mod:`repro.control.policy` — the decision state machine (latching,
+  cooldown, budgets, deferral) driven by synthetic traces;
+- the scheduler/store integration — including the hypothesis-driven
+  bit-equivalence suite proving the default path (no policy argument)
+  makes decision-for-decision the same calls as an explicit
+  :class:`CadencePolicy`, i.e. the refactor did not change the
+  historical behavior.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import VectorStore
+from repro.control import (
+    POLICIES,
+    CadencePolicy,
+    MaintenancePolicy,
+    NavigabilitySignals,
+    SignalPolicy,
+    make_policy,
+)
+from repro.obs import QueryTrace
+
+_DIM = 8
+
+
+def _trace(n_hops=10, ndc=50, frontier_peak=8, degraded=False):
+    return QueryTrace(k=5, ef=20, n_hops=n_hops, ndc=ndc,
+                      frontier_peak=frontier_peak, degraded=degraded)
+
+
+def _feed(signals, n, **kwargs):
+    for _ in range(n):
+        signals.observe_trace(_trace(**kwargs))
+
+
+# -- signals ------------------------------------------------------------------
+
+
+class TestNavigabilitySignals:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NavigabilitySignals(window=0)
+        with pytest.raises(ValueError):
+            NavigabilitySignals(baseline_traces=0)
+        with pytest.raises(ValueError):
+            NavigabilitySignals(storm_deletes=0)
+
+    def test_window_is_bounded(self):
+        signals = NavigabilitySignals(window=16, baseline_traces=4)
+        _feed(signals, 100)
+        snap = signals.snapshot()
+        assert snap.n == 16
+        assert signals.n_traces == 100
+
+    def test_baseline_locks_after_baseline_traces(self):
+        signals = NavigabilitySignals(window=32, baseline_traces=8)
+        _feed(signals, 7)
+        assert signals.baseline_hops is None
+        _feed(signals, 1)
+        assert signals.baseline_hops == pytest.approx(10.0)
+        assert signals.baseline_ndc == pytest.approx(50.0)
+        # The baseline stays locked: harder traffic later must not move it.
+        _feed(signals, 8, n_hops=40, ndc=200)
+        assert signals.baseline_hops == pytest.approx(10.0)
+
+    def test_baseline_floor_avoids_divide_by_zero(self):
+        signals = NavigabilitySignals(baseline_traces=2)
+        _feed(signals, 2, n_hops=0, ndc=0)
+        assert signals.baseline_hops == 1.0
+        assert signals.baseline_ndc == 1.0
+        assert np.isfinite(signals.snapshot().score)
+
+    def test_score_zero_at_baseline(self):
+        signals = NavigabilitySignals(baseline_traces=4)
+        _feed(signals, 16)
+        assert signals.snapshot().score == pytest.approx(0.0)
+
+    def test_score_grows_with_hops_inflation(self):
+        signals = NavigabilitySignals(window=8, baseline_traces=4)
+        _feed(signals, 8)                       # baseline: 10 hops, 50 ndc
+        _feed(signals, 8, n_hops=20, ndc=100)   # window now fully inflated
+        snap = signals.snapshot()
+        # hops ratio 2.0 and ndc ratio 2.0 each contribute (ratio - 1).
+        assert snap.score == pytest.approx(2.0)
+
+    def test_degraded_rate_dominates_score(self):
+        signals = NavigabilitySignals(window=8, baseline_traces=4)
+        _feed(signals, 4)
+        _feed(signals, 4, degraded=True)
+        snap = signals.snapshot()
+        assert snap.degraded_rate == pytest.approx(0.5)
+        assert snap.score == pytest.approx(1.0)  # 2.0 * degraded_rate
+
+    def test_tombstone_density_provider_feeds_score(self):
+        signals = NavigabilitySignals(baseline_traces=2)
+        _feed(signals, 4)
+        signals.tombstone_density_fn = lambda: 0.25
+        assert signals.snapshot().score == pytest.approx(0.25)
+
+    def test_slope_positive_while_degrading(self):
+        signals = NavigabilitySignals(window=8, baseline_traces=4)
+        _feed(signals, 8)
+        signals.snapshot()                      # healthy reading on record
+        _feed(signals, 8, n_hops=30, ndc=150)
+        assert signals.snapshot().slope > 0
+
+    def test_storm_detection_counts_ops_not_time(self):
+        signals = NavigabilitySignals(storm_window=10, storm_deletes=4)
+        signals.note_mutation("delete", 3)
+        assert not signals.storm_detected
+        signals.note_mutation("delete", 1)
+        assert signals.storm_detected
+        assert signals.recent_deletes == 4
+        # Inserts push the deletes out of the op window: storm clears.
+        signals.note_mutation("insert", 10)
+        assert not signals.storm_detected
+        assert signals.recent_deletes == 0
+
+    def test_version_bumps_on_every_write(self):
+        signals = NavigabilitySignals()
+        v0 = signals.version
+        signals.observe_trace(_trace())
+        signals.note_mutation("insert")
+        assert signals.version == v0 + 2
+
+
+# -- policy construction ------------------------------------------------------
+
+
+class TestMakePolicy:
+    def test_none_means_scheduler_default(self):
+        assert make_policy(None, 256) is None
+
+    def test_none_with_config_is_an_error(self):
+        with pytest.raises(ValueError, match="requires an explicit policy"):
+            make_policy(None, 256, {"min_traces": 4})
+
+    def test_instance_passes_through(self):
+        policy = CadencePolicy(32)
+        assert make_policy(policy, 256) is policy
+
+    def test_instance_with_config_is_an_error(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            make_policy(CadencePolicy(32), 256, {"merge_every": 8})
+
+    def test_string_lookup_forwards_config(self):
+        policy = make_policy("signal", 64, {"min_traces": 4,
+                                            "storm_deletes": 8})
+        assert isinstance(policy, SignalPolicy)
+        assert policy.merge_every == 64
+        assert policy.min_traces == 4
+        assert policy.signals.storm_deletes == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nonsense", 256)
+
+    def test_registry_contents(self):
+        assert set(POLICIES) == {"cadence", "signal"}
+
+    def test_base_policy_defaults(self):
+        policy = MaintenancePolicy()
+        assert policy.admit_repair() is True
+        assert policy.repair_budget() is None
+        assert policy.mutation_repair_budget() == 0
+        assert policy.claim_repair_requests() == 0
+        assert not policy.wants_traces
+        with pytest.raises(NotImplementedError):
+            policy.should_merge(1)
+
+
+class TestCadencePolicy:
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            CadencePolicy(0)
+
+    def test_merge_exactly_at_cadence(self):
+        policy = CadencePolicy(8)
+        assert not policy.should_merge(7)
+        assert policy.should_merge(8)
+        assert policy.should_merge(9)
+
+    def test_admits_everything_unbudgeted(self):
+        policy = CadencePolicy(8)
+        assert policy.admit_repair()
+        assert policy.repair_budget() is None
+        assert policy.mutation_repair_budget() == 0
+        assert policy.claim_repair_requests() == 0
+
+    def test_stats(self):
+        assert CadencePolicy(8).stats() == {"policy": "cadence",
+                                            "merge_every": 8}
+
+
+# -- signal policy state machine ----------------------------------------------
+
+
+def _signal_policy(**overrides):
+    kwargs = dict(merge_every=16, min_traces=4, storm_deletes=4,
+                  storm_window=16, repair_budget_degraded=2,
+                  storm_repair_budget=6, trigger_cooldown=8)
+    kwargs.update(overrides)
+    return SignalPolicy(**kwargs)
+
+
+def _make_healthy(policy, n=8):
+    """Feed enough at-baseline traces that triggers are armed but silent."""
+    for _ in range(n):
+        policy.on_trace(_trace())
+
+
+def _make_degraded(policy, n=8):
+    for _ in range(n):
+        policy.on_trace(_trace(degraded=True))
+
+
+class TestSignalPolicyHealthy:
+    def test_skips_repairs_while_healthy(self):
+        policy = _signal_policy()
+        _make_healthy(policy)
+        assert not policy.admit_repair()
+        assert policy.n_skipped == 1
+
+    def test_defers_cadence_merges_up_to_overlay_cap(self):
+        policy = _signal_policy(merge_every=16, max_overlay_factor=4)
+        _make_healthy(policy)
+        assert not policy.should_merge(16)      # cadence-due but healthy
+        assert policy.n_deferred == 1
+        assert not policy.should_merge(17)      # same crossing: no recount
+        assert policy.n_deferred == 1
+        assert policy.should_merge(64)          # overlay cap is absolute
+
+    def test_no_trigger_below_min_traces(self):
+        policy = _signal_policy(min_traces=8)
+        _make_degraded(policy, n=4)             # degraded but tiny sample
+        assert not policy.admit_repair()
+        assert policy.n_triggers == 0
+
+
+class TestSignalPolicyDegraded:
+    def test_degraded_rate_trigger_admits_with_budget(self):
+        policy = _signal_policy()
+        _make_degraded(policy)
+        assert policy.admit_repair()
+        assert policy.n_triggers == 1
+        assert policy.repair_budget() == policy.repair_budget_degraded
+        assert (policy.mutation_repair_budget()
+                == policy.repair_budget_degraded)
+
+    def test_trigger_requests_ring_repairs_once(self):
+        policy = _signal_policy()
+        _make_degraded(policy)
+        policy.admit_repair()
+        assert policy.claim_repair_requests() == policy.repair_budget_degraded
+        assert policy.claim_repair_requests() == 0  # consumed
+
+    def test_trigger_cooldown_limits_refire(self):
+        policy = _signal_policy(trigger_cooldown=100)
+        _make_degraded(policy, n=20)            # many snapshots, one trigger
+        policy.admit_repair()
+        assert policy.n_triggers == 1
+
+    def test_degraded_merges_at_half_cadence(self):
+        policy = _signal_policy(merge_every=16)
+        _make_degraded(policy)
+        assert not policy.should_merge(7)
+        assert policy.should_merge(8)
+
+    def test_recovery_returns_to_healthy(self):
+        policy = _signal_policy()
+        _make_degraded(policy)
+        policy.admit_repair()
+        policy.claim_repair_requests()
+        # Healthy traffic refills the window; the score decays under the
+        # threshold and admission flips back to skipping.
+        _make_healthy(policy, n=policy.signals.window + 1)
+        assert not policy.admit_repair()
+
+
+class TestSignalPolicyStorm:
+    def test_storm_latches_on_rising_edge_only(self):
+        policy = _signal_policy(storm_deletes=4)
+        policy.note_mutation("delete", 4)
+        assert policy.storming
+        assert policy.n_storms == 1
+        policy.note_mutation("delete", 2)       # still inside the window
+        assert policy.n_storms == 1             # no double count
+
+    def test_storm_demands_immediate_merge_and_burst(self):
+        policy = _signal_policy(storm_deletes=4, storm_repair_budget=6)
+        policy.note_mutation("delete", 4)
+        assert policy.should_merge(1)
+        assert policy.repair_budget() is None   # drain the whole burst
+        assert policy.mutation_repair_budget() == 6
+        assert policy.claim_repair_requests() == 6
+        policy.on_merge()
+        assert not policy._merge_pending
+
+    def test_storm_rearms_after_window_drains(self):
+        policy = _signal_policy(storm_deletes=4, storm_window=8)
+        policy.note_mutation("delete", 4)
+        assert policy.n_storms == 1
+        policy.claim_repair_requests()
+        policy.on_merge()
+        policy.note_mutation("insert", 8)       # flush the op window
+        assert not policy.storming
+        policy.note_mutation("delete", 4)       # a second, distinct storm
+        assert policy.n_storms == 2
+
+    def test_inserts_alone_never_storm(self):
+        policy = _signal_policy(storm_deletes=4)
+        policy.note_mutation("insert", 1000)
+        assert not policy.storming
+        assert policy.n_storms == 0
+
+    def test_stats_shape(self):
+        policy = _signal_policy()
+        stats = policy.stats()
+        assert stats["policy"] == "signal"
+        assert stats["storm_active"] == 0
+        assert isinstance(stats["storm_active"], int)  # sums across shards
+        for key in ("signal_score", "signal_slope", "degraded_rate",
+                    "tombstone_density", "storm_detections",
+                    "triggers_fired", "repairs_skipped",
+                    "repairs_requested", "deferred_merges"):
+            assert key in stats
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SignalPolicy(merge_every=0)
+        with pytest.raises(ValueError):
+            SignalPolicy(max_overlay_factor=0)
+
+
+# -- cluster stats rollup -----------------------------------------------------
+
+
+class TestClusterPolicyRollup:
+    def test_health_gauges_take_worst_shard(self):
+        from repro.cluster.stats import merge_stats
+        merged = merge_stats([
+            {"policy": {"signal_score": 0.1, "storm_active": 0,
+                        "repairs_skipped": 5, "policy": "signal"}},
+            {"policy": {"signal_score": 0.9, "storm_active": 1,
+                        "repairs_skipped": 3, "policy": "signal"}},
+        ])
+        policy = merged["policy"]
+        assert policy["signal_score"] == pytest.approx(0.9)   # max, not sum
+        assert policy["storm_active"] == 1                    # int sum
+        assert policy["repairs_skipped"] == 8                 # counter sum
+        assert policy["policy"] == "signal"                   # identity
+
+    def test_merge_every_is_identity_not_sum(self):
+        from repro.cluster.stats import merge_stats
+        merged = merge_stats([{"policy": {"merge_every": 256}},
+                              {"policy": {"merge_every": 256}}])
+        assert merged["policy"]["merge_every"] == 256
+
+
+# -- store / scheduler integration --------------------------------------------
+
+
+def _vectors(n=96, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (n, _DIM)).astype(np.float32)
+
+
+def _store(policy=None, policy_config=None, merge_every=8, **kwargs):
+    store = VectorStore(dim=_DIM, seed=0, M=6, ef_construction=30,
+                        scheduler_mode="inline", merge_every=merge_every,
+                        policy=policy, policy_config=policy_config, **kwargs)
+    store.add(_vectors())
+    store.build()
+    return store
+
+
+class TestSchedulerPolicyWiring:
+    def test_default_policy_is_cadence(self):
+        store = _store()
+        assert store.scheduler.policy.name == "cadence"
+        assert store.scheduler.policy.merge_every == 8
+        assert store.scheduler.recent_queries is None  # trace-blind: no ring
+        assert store._searcher.trace_sink is None
+        stats = store.scheduler.stats()
+        assert stats["policy"] == {"policy": "cadence", "merge_every": 8}
+        assert stats["policy_repairs"] == 0
+        assert "repair_seconds" in stats and "merge_seconds" in stats
+        store.close()
+
+    def test_signal_policy_wires_trace_feed(self):
+        store = _store(policy="signal", policy_config={"min_traces": 4})
+        scheduler = store.scheduler
+        assert scheduler.policy.name == "signal"
+        assert scheduler.recent_queries is not None
+        assert store._searcher.trace_sink is not None
+        for q in _vectors(6, seed=1):
+            store.search(q, k=5, ef=20)
+        assert scheduler.policy.signals.n_traces == 6
+        assert len(scheduler.recent_queries) == 6
+        store.close()
+
+    def test_signal_policy_providers_read_serving_state(self):
+        store = _store(policy="signal")
+        signals = store.scheduler.policy.signals
+        assert signals.overlay_depth_fn() == 0
+        assert signals.tombstone_density_fn() == pytest.approx(0.0)
+        # Deletes accumulate overlay depth (inserts cut a fresh epoch, so
+        # they reset it); tombstone density tracks the live graph.
+        store.delete([0, 1])
+        assert signals.overlay_depth_fn() == 2
+        assert signals.tombstone_density_fn() > 0.0
+        store.close()
+
+    def test_healthy_signal_policy_sheds_observe(self):
+        store = _store(policy="signal", policy_config={"min_traces": 4})
+        for q in _vectors(8, seed=3):
+            store.search(q, k=5, ef=20)
+        assert store.observe(_vectors(1, seed=4)[0]) is False
+        assert store.scheduler.policy.n_skipped == 1
+        assert store.scheduler.n_repairs == 0
+        store.close()
+
+    def test_delete_storm_bursts_repairs_and_merges(self):
+        store = _store(policy="signal", merge_every=64,
+                       policy_config={"storm_deletes": 8, "storm_window": 32,
+                                      "min_traces": 4,
+                                      "storm_repair_budget": 6})
+        scheduler = store.scheduler
+        for q in _vectors(12, seed=5):           # fill the recent-query ring
+            store.search(q, k=5, ef=20)
+        merges_before = scheduler.n_merges
+        store.delete(list(range(10)))            # one burst over threshold
+        policy_stats = scheduler.stats()["policy"]
+        assert policy_stats["storm_detections"] == 1
+        # At least the storm's immediate cut (tombstone compaction may add
+        # its own bulk-boundary cut on top).
+        assert scheduler.n_merges >= merges_before + 1
+        assert scheduler.n_policy_repairs == 6   # ring burst self-enqueued
+        assert scheduler.n_repairs >= 6
+        # The store still answers, without resurfacing tombstoned ids.
+        hits = {i for i, _, _ in store.search(_vectors(1, seed=6)[0], k=5)}
+        assert not hits & set(range(10))
+        store.close()
+
+    def test_policy_survives_recovery(self, tmp_path):
+        from repro.durability import recover
+        store = _store(policy="signal", policy_config={"min_traces": 4},
+                       wal_dir=tmp_path / "wal", sync_every=1)
+        store.add(_vectors(4, seed=7))
+        store.close()
+        recovered, report = recover(tmp_path / "wal")
+        assert report.consistent, report.errors
+        assert recovered.scheduler.policy.name == "signal"
+        assert recovered.scheduler.policy.min_traces == 4
+        recovered.close()
+
+    def test_policy_override_at_recovery(self, tmp_path):
+        from repro.durability import recover
+        store = _store(wal_dir=tmp_path / "wal", sync_every=1)
+        store.close()
+        recovered, report = recover(tmp_path / "wal", policy="signal")
+        assert report.consistent, report.errors
+        assert recovered.scheduler.policy.name == "signal"
+        recovered.close()
+
+
+# -- bit-equivalence: default path vs explicit CadencePolicy ------------------
+#
+# The refactor's contract: a store built with no policy argument behaves
+# exactly as the pre-policy scheduler did, and CadencePolicy IS that
+# behavior.  Hypothesis drives both stores through the same randomized op
+# schedule and demands identical decisions at every step — same search
+# results, same merge/repair counts, same epoch ids, same overlay depth.
+
+_OPS = st.lists(st.sampled_from(["add", "delete", "observe", "search"]),
+                min_size=1, max_size=40)
+
+
+def _equiv_store(policy):
+    store = VectorStore(dim=_DIM, seed=0, M=6, ef_construction=30,
+                        scheduler_mode="inline", merge_every=4,
+                        policy=policy)
+    store.add(_vectors(48, seed=0))
+    store.build()
+    return store
+
+
+class TestCadenceBitEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_OPS)
+    def test_default_path_matches_explicit_cadence(self, ops):
+        default = _equiv_store(policy=None)
+        explicit = _equiv_store(policy=CadencePolicy(4))
+        try:
+            rng = np.random.default_rng(7)
+            payload = [rng.standard_normal(_DIM).astype(np.float32)
+                       for _ in range(len(ops))]
+            live = list(range(48))
+            next_id = 48
+            for step, op in enumerate(ops):
+                if op == "add":
+                    for store in (default, explicit):
+                        store.add(payload[step][None, :])
+                    live.append(next_id)
+                    next_id += 1
+                elif op == "delete" and live:
+                    victim = live.pop(0)
+                    for store in (default, explicit):
+                        store.delete([victim])
+                elif op == "observe":
+                    accepted = [store.observe(payload[step])
+                                for store in (default, explicit)]
+                    assert accepted[0] == accepted[1]
+                elif op == "search":
+                    got = [[i for i, _, _ in
+                            store.search(payload[step], k=5, ef=20)]
+                           for store in (default, explicit)]
+                    assert got[0] == got[1]
+                # Decision trace: both schedulers agree after every op.
+                a, b = default.scheduler, explicit.scheduler
+                assert a.n_merges == b.n_merges
+                assert a.n_repairs == b.n_repairs
+                assert a.n_observed == b.n_observed
+                assert (a.manager.overlay.n_ops
+                        == b.manager.overlay.n_ops)
+                assert (a.manager.current.epoch_id
+                        == b.manager.current.epoch_id)
+                # Cadence invariant: the overlay never reaches merge_every
+                # after a drain point.
+                assert a.manager.overlay.n_ops < 4 or op == "search"
+        finally:
+            default.close()
+            explicit.close()
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=_OPS)
+    def test_string_spec_matches_instance(self, ops):
+        """policy="cadence" (make_policy path) == CadencePolicy instance."""
+        named = _equiv_store(policy="cadence")
+        explicit = _equiv_store(policy=CadencePolicy(4))
+        try:
+            rng = np.random.default_rng(11)
+            for op in ops:
+                vec = rng.standard_normal(_DIM).astype(np.float32)
+                if op == "add":
+                    for store in (named, explicit):
+                        store.add(vec[None, :])
+                elif op == "observe":
+                    for store in (named, explicit):
+                        store.observe(vec)
+                # delete/search skipped: add+observe already exercise every
+                # decision hook (admission, budgets, merge cadence).
+                a, b = named.scheduler, explicit.scheduler
+                assert a.n_merges == b.n_merges
+                assert a.n_repairs == b.n_repairs
+                assert (a.manager.overlay.n_ops
+                        == b.manager.overlay.n_ops)
+        finally:
+            named.close()
+            explicit.close()

@@ -341,7 +341,71 @@ print("SURVIVED", flush=True)  # must be unreachable
 """
 
 
+_REPAIR_KILL_CHILD = """
+import sys
+import numpy as np
+from repro.store import VectorStore
+from repro.faults import FAULTS, FaultPlan
+
+wal_dir = sys.argv[1]
+rng = np.random.default_rng(0)
+store = VectorStore(dim=8, seed=0, scheduler_mode="inline",
+                    wal_dir=wal_dir, sync_every=1)
+store.add(rng.standard_normal((100, 8)).astype(np.float32))
+store.build()
+store.checkpoint()
+queries = rng.standard_normal((8, 8)).astype(np.float32)
+for q in queries[:4]:
+    store.observe(q)   # committed + journaled: replay re-runs these
+print("ACK observed 4", flush=True)
+store.delete([3, 4, 5])
+print("ACK delete 3 4 5", flush=True)
+# The next repair dies AFTER being popped but BEFORE committing (and
+# therefore before its journal append: repairs are logged post-commit).
+FAULTS.arm(FaultPlan().on("scheduler.pre_repair", "kill", nth=1))
+store.observe(queries[4])
+print("SURVIVED", flush=True)  # must be unreachable
+"""
+
+
 class TestProcessKill:
+    def test_kill_mid_repair_is_replay_invisible(self, tmp_path):
+        """A crash inside the repair drain loses only the in-flight repair.
+
+        The journal-after-commit ordering means the killed repair never
+        reached the WAL: recovery replays the four acknowledged repairs
+        and the delete, and the tombstoned ids never resurface.
+        """
+        from repro.durability.wal import read_wal
+
+        wal_dir = tmp_path / "wal"
+        proc = subprocess.run(
+            [sys.executable, "-c", _REPAIR_KILL_CHILD, str(wal_dir)],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+        assert "SURVIVED" not in proc.stdout
+        assert "ACK delete 3 4 5" in proc.stdout
+
+        records = list(read_wal(wal_dir))
+        ops = [r.op for r in records]
+        # Exactly the four acked repairs made the journal — the one the
+        # kill interrupted is absent, so replay simply skips it.
+        assert ops.count("observe") == 4
+        assert ops.count("delete") == 1
+
+        recovered, report = recover(wal_dir)
+        assert report.consistent, report.errors
+        tombstones = recovered._fixer.index.adjacency.tombstones
+        assert {3, 4, 5} <= set(tombstones)
+        for q in np.random.default_rng(7).standard_normal(
+                (10, _DIM)).astype(np.float32):
+            hits = {i for i, _, _ in recovered.search(q, k=10)}
+            assert not hits & {3, 4, 5}
+        # The recovered store keeps serving and repairing normally.
+        assert recovered.observe(
+            np.zeros(_DIM, dtype=np.float32)) is True
+        recovered.close()
+
     def test_killed_process_recovers_all_acked_ops(self, tmp_path):
         """Real process death (os._exit mid-churn), not just an exception."""
         wal_dir = tmp_path / "wal"
