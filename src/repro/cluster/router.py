@@ -48,6 +48,7 @@ from repro.distances import Metric
 from repro.graphs.search import SearchResult
 from repro.obs import OBS, SECONDS_BUCKETS
 from repro.quantization.pq import ProductQuantizer
+from repro.tuning import coerce_tuned_config
 from repro.utils.validation import check_positive
 
 _SEARCHES = OBS.counter(
@@ -279,6 +280,11 @@ class ClusterRouter:
         every replica's store.  Each shard runs its own policy against its
         own signals; :meth:`health` rolls per-shard navigability up to a
         cluster view (worst shard's score, summed storm detections).
+    tuned_config:
+        A fitted :class:`~repro.tuning.TunedConfig` (instance, dict, or
+        JSON path) shipped to every replica's store, so each shard runs
+        the hardness-aware planner with the same per-bin table (landmark
+        entry points still resolve against each shard's own graph).
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
@@ -292,13 +298,19 @@ class ClusterRouter:
                  merge_reserve: float = MERGE_RESERVE,
                  rpc_timeout: float = 120.0,
                  policy: str | None = None,
-                 policy_config: dict | None = None):
+                 policy_config: dict | None = None,
+                 tuned_config=None):
         check_positive(n_shards, "n_shards")
         check_positive(n_replicas, "n_replicas")
         # Fail fast on a bad policy spec here rather than as a worker
         # startup error n_shards*n_replicas times.
         make_policy(policy, merge_every, policy_config)
         self.policy = policy
+        # Fitted tuned tables ship in the worker spec as plain dicts (specs
+        # cross the process boundary as JSON); every shard plans with the
+        # same per-bin settings.  Validate here, once, not per worker.
+        tuned = coerce_tuned_config(tuned_config)
+        self.tuned_config = tuned.to_dict() if tuned is not None else None
         self.dim = dim
         self.metric = Metric.parse(metric)
         self.n_shards = n_shards
@@ -344,7 +356,8 @@ class ClusterRouter:
                     merge_every=merge_every, sync_every=sync_every,
                     compressed=compressed, pq_m=pq_m, pq_ks=pq_ks,
                     rerank=rerank, beam_width=beam_width,
-                    policy=policy, policy_config=policy_config)
+                    policy=policy, policy_config=policy_config,
+                    tuned_config=self.tuned_config)
                 replicas.append(ShardHandle(s, r, spec, rpc_timeout))
             self.handles.append(replicas)
         for replicas in self.handles:

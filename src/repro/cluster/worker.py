@@ -97,6 +97,7 @@ class _ShardServer:
                         if spec.get("beam_width") else None),
             policy=spec.get("policy"),
             policy_config=spec.get("policy_config"),
+            tuned_config=spec.get("tuned_config"),
         )
 
     def _fresh_store(self) -> None:

@@ -74,34 +74,70 @@ class AdaptiveSearcher:
         bins = np.digitize(sims, self._edges)
 
         gt_k = gt.top(k)
-        self._bin_ef = []
+        fitted: list[int | None] = []
         table = {}
         for b in range(self.n_bins):
             members = np.flatnonzero(bins == b)
-            chosen = ef_grid[-1]
+            chosen: int | None = None
             if members.size:
+                chosen = ef_grid[-1]
                 for ef in ef_grid:
-                    found = np.vstack([
-                        self.index.search(queries[i], k=k, ef=ef).ids[:k]
-                        for i in members
-                    ])
+                    found = self._grid_ids(queries, members, k, ef)
                     recall = float(recall_per_query(found, gt_k.ids[members]).mean())
                     if recall >= target_recall:
                         chosen = ef
                         break
-            self._bin_ef.append(chosen)
+            fitted.append(chosen)
             table[b] = {"n_queries": int(members.size), "ef": chosen}
+        # Empty bins inherit the nearest *fitted* bin's ef (ties go to the
+        # harder side) instead of silently pinning the grid maximum: no
+        # calibration query ever landed there, so the grid max would claim a
+        # precision the data cannot support.
+        fit_idx = [b for b, ef in enumerate(fitted) if ef is not None]
+        self._bin_ef = []
+        for b, ef in enumerate(fitted):
+            if ef is None:
+                src = min(fit_idx, key=lambda f: (abs(f - b), -f))
+                ef = fitted[src]
+                table[b]["ef"] = ef
+                table[b]["inherited_from"] = src
+            self._bin_ef.append(ef)
         self.fallback_ef = max(self._bin_ef)
         return table
 
+    def _grid_ids(self, queries: np.ndarray, members: np.ndarray, k: int,
+                  ef: int) -> np.ndarray:
+        """Top-k id matrix for one (bin, ef) calibration cell.
+
+        Routed through the index's batched engine when it has one —
+        lock-step batched search is bit-identical to the sequential path
+        at its defaults, so the chosen efs do not change; only the
+        O(bins x grid x queries) python loop does.
+        """
+        search_batch = getattr(self.index, "search_batch", None)
+        if search_batch is not None:
+            results = search_batch(queries[members], k=k, ef=ef)
+        else:
+            results = [self.index.search(queries[i], k=k, ef=ef)
+                       for i in members]
+        found = np.full((len(results), k), -1, dtype=np.int64)
+        for row, result in enumerate(results):
+            ids = result.ids[:k]
+            found[row, :len(ids)] = ids
+        return found
+
     def ef_for(self, query: np.ndarray) -> int:
         """The calibrated ef for one query."""
-        if self._bin_ef is None:
-            raise RuntimeError("call calibrate() before searching")
+        if self._bin_ef is None or self._edges is None:
+            raise RuntimeError(
+                "AdaptiveSearcher has no calibrated bins: call calibrate() "
+                "with a calibration query set before ef_for()/search()")
         sim = float(self.history_distance(query[None, :])[0])
         b = int(np.digitize([sim], self._edges)[0])
         return self._bin_ef[b]
 
     def search(self, query: np.ndarray, k: int, ef: int | None = None) -> SearchResult:
         """Search with the per-query calibrated ef (explicit ef overrides)."""
-        return self.index.search(query, k=k, ef=ef or self.ef_for(query))
+        if ef is None:
+            ef = self.ef_for(query)
+        return self.index.search(query, k=k, ef=ef)

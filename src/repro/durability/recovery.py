@@ -187,6 +187,10 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
         policy = config.get("policy")
         if policy_config is None:
             policy_config = config.get("policy_config")
+    # The fitted tuned table persists with the config: a recovered store
+    # plans with the same per-bin settings the original served (landmark
+    # entry ids are resolved fresh against the rebuilt graph).
+    tuned_config = config.get("tuned_config")
 
     snapshots = SnapshotManager(wal_dir)
     info = snapshots.latest()
@@ -212,7 +216,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
             merge_every=merge_every, compressed=compressed, pq_m=pq_m,
             pq_ks=pq_ks, rerank=rerank,
-            policy=policy, policy_config=policy_config)
+            policy=policy, policy_config=policy_config,
+            tuned_config=tuned_config)
         payloads = {}
         if info.payloads_path.exists():
             payloads = {int(k): v for k, v in json.loads(
@@ -236,7 +241,8 @@ def recover(wal_dir: str | pathlib.Path, *, fix_config=None,
             seed=seed, serving=serving, scheduler_mode=scheduler_mode,
             merge_every=merge_every, compressed=compressed, pq_m=pq_m,
             pq_ks=pq_ks, rerank=rerank,
-            policy=policy, policy_config=policy_config)
+            policy=policy, policy_config=policy_config,
+            tuned_config=tuned_config)
         snap_seq = 0
         base_n = 0
 

@@ -51,10 +51,11 @@ class OperatingPoint:
     ``ndc_per_query`` counts full-precision distance computations; on a
     compressed (PQ) searcher it collapses to the exact re-rank budget while
     ``adc_per_query`` carries the cheap table-lookup scorings (0.0 for
-    uncompressed indexes).
+    uncompressed indexes).  ``ef=None`` marks a planned run: the index
+    chose per-query settings itself (hardness-aware planner / defaults).
     """
 
-    ef: int
+    ef: int | None
     recall: float
     rderr: float
     qps: float
@@ -68,7 +69,7 @@ def evaluate_index(
     queries: np.ndarray,
     gt: GroundTruth,
     k: int,
-    ef: int,
+    ef: int | None,
     batch_size: int = 1,
     n_workers: int = 1,
 ) -> OperatingPoint:
@@ -79,10 +80,14 @@ def evaluate_index(
     over a fork pool (each worker reads the same frozen graph).  Recall,
     rderr, and NDC are identical on every path — only wall-clock QPS
     changes.
+
+    ``ef=None`` lets the index pick its own setting per query — on a
+    store with a tuned config attached that is the hardness-aware planner
+    (per-bin ef/route), otherwise the index default.
     """
     check_positive(k, "k")
     check_positive(batch_size, "batch_size")
-    if ef < k:
+    if ef is not None and ef < k:
         raise ValueError(f"ef={ef} must be >= k={k}")
     queries = np.asarray(queries, dtype=np.float32)
     if queries.shape[0] != gt.n_queries:

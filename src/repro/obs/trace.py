@@ -68,6 +68,11 @@ class TraceLog:
         return json.dumps([t.to_dict() for t in self.recent(n)], indent=indent)
 
     def clear(self) -> None:
+        """Drop the retained traces; ``n_recorded`` stays monotonic.
+
+        Rate/baseline consumers (:class:`repro.control.NavigabilitySignals`,
+        scrape deltas) difference ``n_recorded`` across reads — resetting it
+        here would make those deltas go negative.
+        """
         with self._lock:
             self._buffer.clear()
-            self.n_recorded = 0

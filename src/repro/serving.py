@@ -473,6 +473,11 @@ class ServingSearcher:
         self._engine: BatchSearchEngine | None = None
         self._engine_batch = batch_size
         self._block_pin: EpochPin | None = None
+        # Hardness-aware query planner (repro.tuning).  None — the default —
+        # leaves every search path bit-identical to the planner-less stack;
+        # attach_planner() routes ef-less searches through per-bin settings.
+        self.planner = None
+        self._planned_engines: dict[tuple, BatchSearchEngine] = {}
         self.n_degraded = 0
         self.adc_scored = 0     # cumulative ADC scorings (compressed mode)
         self.rerank_ndc = 0     # cumulative exact re-rank computations
@@ -508,17 +513,32 @@ class ServingSearcher:
             self.rerank = rerank
         self.beam_width = beam_width if adc is not None else 1
         self._engine = None
+        self._planned_engines.clear()
+
+    def attach_planner(self, planner) -> None:
+        """Install (or remove) the hardness-aware query planner.
+
+        With a planner attached, searches that pass ``ef=None`` are routed
+        per predicted hardness bin (see :mod:`repro.tuning`); an explicit
+        ``ef`` always overrides the planner.  Passing None restores the
+        planner-less behavior exactly.
+        """
+        self.planner = planner
+        self._planned_engines.clear()
 
     def stats(self) -> dict:
         """Aggregatable searcher counters (summed across shards via
         :func:`repro.cluster.stats.merge_stats`)."""
-        return {
+        out = {
             "n_degraded": self.n_degraded,
             "adc_scored": self.adc_scored,
             "rerank_ndc": self.rerank_ndc,
             "pagein_seconds": self.pagein_seconds,
             "compressed": self.compressed,
         }
+        if self.planner is not None:
+            out["planner"] = self.planner.stats()
+        return out
 
     def _rerank_exact(self, shortlist: np.ndarray, q: np.ndarray, k: int,
                       degraded: bool) -> SearchResult:
@@ -543,10 +563,11 @@ class ServingSearcher:
         return result
 
     def _search_compressed(self, q: np.ndarray, k: int, ef: int,
-                           deadline: float | None
+                           deadline: float | None,
+                           rerank: int | None = None,
                            ) -> tuple[SearchResult, tuple[int, int, float]]:
         """Sequential compressed search against a pinned epoch view."""
-        budget = max(self.rerank, k)
+        budget = max(rerank if rerank is not None else self.rerank, k)
         with self.manager.pin() as pin:
             view = pin.view
             table = self.adc.begin_query(q)  # syncs codes incrementally
@@ -581,9 +602,21 @@ class ServingSearcher:
         ``SearchResult.degraded`` set (and the
         ``serving_degraded_searches`` counter bumped) instead of blocking
         the caller — graceful degradation, never an error.
+
+        With a planner attached (:meth:`attach_planner`), ``ef=None``
+        resolves to the query's predicted hardness bin's fitted setting
+        (ef + route); an explicit ``ef`` always bypasses the planner.
         """
+        setting = None
         if ef is None:
-            ef = max(k, 10)
+            if self.planner is not None:
+                setting = self.planner.config.setting(
+                    int(self.planner.predict(
+                        np.atleast_2d(np.asarray(query, dtype=np.float32))
+                    )[0]))
+                ef = setting.ef
+            else:
+                ef = max(k, 10)
         deadline = (None if deadline_ms is None
                     else time.perf_counter() + deadline_ms / 1000.0)
         dc = self.dc
@@ -594,9 +627,12 @@ class ServingSearcher:
         if track:
             t0 = time.perf_counter()
             ndc0 = dc.ndc
-        if self.adc is not None:
+        use_adc = self.adc is not None and (
+            setting is None or setting.route != "exact")
+        if use_adc:
             result, (epoch_id, seq, pin_s) = self._search_compressed(
-                q, k, ef, deadline)
+                q, k, ef, deadline,
+                rerank=setting.rerank if setting is not None else None)
             if result.degraded:
                 self.n_degraded += 1
                 _DEGRADED.inc()
@@ -666,8 +702,16 @@ class ServingSearcher:
         ``deadline_ms`` budgets the whole batch: the engine checks it once
         per lock-step round and finalizes still-active queries best-so-far
         (flagged ``degraded``) when it expires.
+
+        With a planner attached (:meth:`attach_planner`), ``ef=None``
+        partitions the batch by predicted hardness bin and runs each group
+        under its fitted setting; an explicit ``ef`` always bypasses the
+        planner and runs today's single-setting path unchanged.
         """
         if ef is None:
+            if self.planner is not None:
+                return self._search_batch_planned(queries, k, batch_size,
+                                                  deadline_ms)
             ef = max(k, 10)
         deadline = (None if deadline_ms is None
                     else time.perf_counter() + deadline_ms / 1000.0)
@@ -729,11 +773,119 @@ class ServingSearcher:
                             frontier_peak=r.frontier_peak, batched=True,
                             degraded=r.degraded), query=row)
 
+    # -- planned path --------------------------------------------------------
+
+    def _planned_block_entries(self, qmat: np.ndarray) -> list[int]:
+        """Epoch entry plus the planner's adaptive landmark entry (if any)."""
+        view = self._block_pin.view
+        entries = [self._block_pin.epoch.entry]
+        if self.planner is not None:
+            extra = self.planner.entry_for_block(
+                qmat, n_nodes=view.epoch.n_nodes, excluded=view.excluded())
+            if extra is not None and extra not in entries:
+                entries.append(extra)
+        return entries
+
+    def _group_engine(self, batch_size: int, beam: int,
+                      use_adc: bool) -> BatchSearchEngine:
+        """Engine for one planned group, cached per (batch, beam, path).
+
+        Kept separate from :attr:`_engine` so the planner-off batched path
+        stays byte-for-byte on today's single engine.
+        """
+        key = (batch_size, beam, use_adc)
+        engine = self._planned_engines.get(key)
+        if engine is None:
+            engine = BatchSearchEngine(
+                self.adc if use_adc else self.dc,
+                lambda u: self._block_pin.view(u),
+                lambda q: [self._block_pin.epoch.entry],
+                excluded_fn=self._block_excluded,
+                batch_size=batch_size,
+                graph_fn=self._pin_block,
+                beam_width=beam,
+                entry_points_block_fn=self._planned_block_entries,
+            )
+            self._planned_engines[key] = engine
+        return engine
+
+    def search_group(self, queries: np.ndarray, k: int, setting,
+                     batch_size: int = 32,
+                     deadline: float | None = None) -> list[SearchResult]:
+        """Run one batch group under a bin's :class:`BinSetting`.
+
+        Public because the tuner measures candidate settings through this
+        exact method — fitted tables describe precisely what serving runs.
+        ``route="exact"`` forces full-precision traversal even on a
+        compressed store; ``route="pq"``/``"default"`` keep the ADC hot
+        path when codes are attached.
+        """
+        qmat = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        use_adc = self.adc is not None and setting.route != "exact"
+        if setting.beam_width is not None:
+            beam = int(setting.beam_width)
+        elif self.adc is not None and not use_adc:
+            # Exact route on a compressed store: the wide ADC beam exists
+            # to absorb quantization noise; full-precision walks don't pay
+            # it, so default narrow.
+            beam = 1
+        else:
+            beam = self.beam_width
+        engine = self._group_engine(batch_size, beam, use_adc)
+        try:
+            if use_adc:
+                return self._search_batch_compressed(
+                    engine, qmat, k, setting.ef, deadline,
+                    rerank=setting.rerank)
+            return engine.search_batch(qmat, k, setting.ef,
+                                       deadline=deadline)
+        finally:
+            if self._block_pin is not None:
+                self._block_pin.release()
+                self._block_pin = None
+
+    def _search_batch_planned(self, queries: np.ndarray, k: int,
+                              batch_size: int,
+                              deadline_ms: float | None
+                              ) -> list[SearchResult]:
+        """Partition a batch by predicted bin; run each group on its setting.
+
+        Per-block partitioning keeps the lock-step engine's one-gather-
+        per-hop shape — groups run as dense sub-batches, never per-query
+        fallback.  Results reassemble into caller order.
+        """
+        qmat = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        deadline = (None if deadline_ms is None
+                    else time.perf_counter() + deadline_ms / 1000.0)
+        sink = self.trace_sink
+        bins, groups = self.planner.plan(qmat)
+        results: list[SearchResult | None] = [None] * qmat.shape[0]
+        for _b, idx, setting in groups:
+            if sink is not None:
+                ndc0 = self.dc.ndc
+            group = self.search_group(qmat[idx], k, setting,
+                                      batch_size=batch_size,
+                                      deadline=deadline)
+            for i, r in zip(idx.tolist(), group):
+                results[i] = r
+            if sink is not None:
+                self._sink_batch_traces(sink, qmat[idx], group, k,
+                                        setting.ef, ndc0)
+        if deadline is not None:
+            n_degraded = sum(1 for r in results if r.degraded)
+            if n_degraded:
+                self.n_degraded += n_degraded
+                _DEGRADED.inc(n_degraded)
+        self.planner.note_outcomes(bins, results)
+        return results
+
     def _search_batch_compressed(self, engine: BatchSearchEngine,
                                  queries: np.ndarray, k: int, ef: int,
-                                 deadline: float | None) -> list[SearchResult]:
+                                 deadline: float | None,
+                                 rerank: int | None = None,
+                                 ) -> list[SearchResult]:
         """Batched ADC traversal over pinned views + one exact re-rank gather."""
-        budget = max(self.rerank, k)
+        budget = max(rerank if rerank is not None else self.rerank, k)
         adc0 = self.adc.ndc
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         qmat = self.dc.prepare_queries(queries)

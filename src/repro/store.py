@@ -33,6 +33,7 @@ from repro.io import load_index, save_index
 from repro.quantization.adc import ADCComputer
 from repro.quantization.pq import ProductQuantizer
 from repro.serving import EpochManager, MaintenanceScheduler, ServingSearcher
+from repro.tuning import HardnessPlanner, TunedConfig, coerce_tuned_config
 from repro.utils.validation import check_positive
 
 #: Constructor parameters persisted into the wal_dir so
@@ -110,6 +111,15 @@ class VectorStore:
         ``policy_config`` passes keyword arguments to the named policy's
         constructor; a ready :class:`~repro.control.MaintenancePolicy`
         instance is also accepted.
+    tuned_config:
+        A fitted :class:`~repro.tuning.TunedConfig` (instance, dict, or
+        JSON path — ``repro tune`` emits one).  With the serving layer up,
+        a :class:`~repro.tuning.HardnessPlanner` is attached: ``ef``-less
+        searches resolve per-query hardness bins to fitted
+        ``ef``/route/rerank settings, batches partition by predicted bin,
+        and landmark entry points seed each block.  ``None`` (default)
+        keeps today's fixed defaults exactly.  Persisted into
+        ``store-config.json`` so recovery restores it.
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
@@ -124,7 +134,9 @@ class VectorStore:
                  memmap_path: str | pathlib.Path | None = None,
                  beam_width: int | None = None,
                  policy: str | MaintenancePolicy | None = None,
-                 policy_config: dict | None = None):
+                 policy_config: dict | None = None,
+                 tuned_config: TunedConfig | dict | str | pathlib.Path | None
+                 = None):
         check_positive(dim, "dim")
         if beam_width is not None:
             check_positive(beam_width, "beam_width")
@@ -163,6 +175,7 @@ class VectorStore:
                              else self._policy.name
                              if self._policy is not None else None)
         self._policy_config = dict(policy_config) if policy_config else None
+        self._tuned_config = coerce_tuned_config(tuned_config)
         self._manager: EpochManager | None = None
         self._searcher: ServingSearcher | None = None
         self._scheduler: MaintenanceScheduler | None = None
@@ -198,6 +211,8 @@ class VectorStore:
             "rerank": self._rerank,
             "policy": self._policy_name,
             "policy_config": self._policy_config,
+            "tuned_config": (self._tuned_config.to_dict()
+                             if self._tuned_config is not None else None),
         }))
         self._wal = WriteAheadLog(wal_dir, sync_every=sync_every)
         self._snapshots = SnapshotManager(wal_dir)
@@ -378,8 +393,37 @@ class VectorStore:
             # path builds no traces unless telemetry is on.
             self._searcher.trace_sink = self._scheduler.note_trace
         self._scheduler.wal = self._wal
+        if self._tuned_config is not None:
+            self._attach_planner()
         if self._scheduler_mode == "thread":
             self._scheduler.start()
+
+    def _attach_planner(self) -> None:
+        """Stand up the hardness planner over the serving searcher.
+
+        ``locate_fn`` resolves landmark centroids against the *live* graph
+        (node ids are store-local, so the tuned config never persists
+        them); ``score_fn`` feeds the control plane's navigability score in
+        as the workload-hardness prior when a :class:`SignalPolicy` is
+        driving maintenance.
+        """
+        if self._searcher is None or self._tuned_config is None:
+            return
+        fixer = self._fixer
+
+        def locate(vector: np.ndarray) -> int | None:
+            result = fixer.search(np.asarray(vector, dtype=np.float32),
+                                  k=4, ef=32)
+            dead = fixer.adjacency.excluded_ids() or ()
+            for i in result.ids:
+                if int(i) not in dead:
+                    return int(i)
+            return None
+
+        signals = getattr(self._policy, "signals", None)
+        score_fn = signals.hardness_prior if signals is not None else None
+        self._searcher.attach_planner(HardnessPlanner(
+            self._tuned_config, score_fn=score_fn, locate_fn=locate))
 
     # -- fixing -------------------------------------------------------------
 
@@ -633,6 +677,34 @@ class VectorStore:
             if self._searcher is not None:
                 self._searcher.attach_adc(self._adc, rerank=self._rerank)
 
+    @property
+    def tuned_config(self) -> TunedConfig | None:
+        """The adopted tuned serving table (None = fixed defaults)."""
+        return self._tuned_config
+
+    def apply_tuned_config(
+            self,
+            config: TunedConfig | dict | str | pathlib.Path | None) -> None:
+        """Adopt (or drop, with None) a fitted tuned config at runtime.
+
+        On a built serving store the hardness planner re-attaches
+        immediately; on a durable store ``store-config.json`` is rewritten
+        so :func:`repro.durability.recover` restores the same table.
+        """
+        self._tuned_config = coerce_tuned_config(config)
+        if self._searcher is not None:
+            if self._tuned_config is None:
+                self._searcher.attach_planner(None)
+            else:
+                self._attach_planner()
+        if self._wal is not None:
+            config_path = self._wal.directory / _CONFIG_NAME
+            stored = json.loads(config_path.read_text())
+            stored["tuned_config"] = (
+                self._tuned_config.to_dict()
+                if self._tuned_config is not None else None)
+            atomic_write_text(config_path, json.dumps(stored))
+
     def close(self) -> None:
         """Stop background work and seal the WAL (flushes + fsyncs)."""
         if self._scheduler is not None and self._scheduler_mode == "thread":
@@ -688,6 +760,12 @@ class VectorStore:
                 out["compressed"].update(searcher.stats())
         elif self._searcher is not None:
             out["searcher"] = self._searcher.stats()
+        if self._tuned_config is not None:
+            out["tuned"] = {
+                "n_bins": self._tuned_config.n_bins,
+                "default_ef": self._tuned_config.default_ef,
+                "target_recall": self._tuned_config.target_recall,
+            }
         if self._fixer.dc.is_memmap:
             out["memmap"] = {
                 "path": str(self._fixer.dc.memmap_path),
@@ -715,7 +793,9 @@ class VectorStore:
              fix_config: FixConfig | None = None,
              serving: bool = True, compressed: bool = False,
              pq_m: int | None = None, pq_ks: int = 32, rerank: int = 50,
-             memmap_dir: str | pathlib.Path | None = None) -> "VectorStore":
+             memmap_dir: str | pathlib.Path | None = None,
+             tuned_config: TunedConfig | dict | str | pathlib.Path | None
+             = None) -> "VectorStore":
         """Reload a saved store for serving and repair — **not insertion**.
 
         ``compressed``/``pq_m``/``pq_ks``/``rerank`` enable the PQ-resident
@@ -740,7 +820,7 @@ class VectorStore:
         store = cls(dim=frozen.dc.dim, metric=frozen.dc.metric,
                     fix_config=fix_config, serving=serving,
                     compressed=compressed, pq_m=pq_m, pq_ks=pq_ks,
-                    rerank=rerank)
+                    rerank=rerank, tuned_config=tuned_config)
         payloads = {}
         sidecar = path.with_suffix(".payloads.json")
         if sidecar.exists():

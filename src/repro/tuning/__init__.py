@@ -1,0 +1,34 @@
+"""Trace-driven autotuning + hardness-aware query planning (ROADMAP item 4).
+
+Three pieces close the loop from telemetry to parameters:
+
+- :class:`TunedConfig` (:mod:`repro.tuning.config`) — the JSON-serializable
+  per-hardness-bin parameter table (``ef``/``beam_width``/``rerank``/route
+  plus the landmark set defining the hardness measure).  Rides in
+  ``store-config.json`` and the cluster's worker specs.
+- :func:`fit_tuned_config` (:mod:`repro.tuning.tuner`) — replays a
+  calibration workload (optionally seeded by a recorded TraceLog) through
+  the target searcher, measures per-(bin, ef) recall/cost, and solves for
+  the cheapest assignment meeting the recall target.  The ``repro tune``
+  subcommand wraps it.
+- :class:`HardnessPlanner` (:mod:`repro.tuning.planner`) — the serving-time
+  consumer: predicts each query's bin from landmark distance plus the
+  control plane's navigability prior, partitions batches by bin, and picks
+  adaptive entry points per block.
+"""
+
+from repro.tuning.config import BinSetting, TunedConfig, coerce_tuned_config
+from repro.tuning.planner import HardnessPlanner
+from repro.tuning.tuner import (fit_landmarks, fit_tuned_config,
+                                replay_traces, suggest_ef_grid)
+
+__all__ = [
+    "BinSetting",
+    "TunedConfig",
+    "coerce_tuned_config",
+    "HardnessPlanner",
+    "fit_landmarks",
+    "fit_tuned_config",
+    "replay_traces",
+    "suggest_ef_grid",
+]

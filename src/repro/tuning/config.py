@@ -1,0 +1,172 @@
+"""Tuned serving configuration: per-hardness-bin search parameters.
+
+A :class:`TunedConfig` is the artifact the trace-replay tuner emits and the
+serving stack consumes: hardness bin edges (history-distance quantiles), a
+small landmark set that *defines* the hardness measure at serving time, and
+one :class:`BinSetting` per bin carrying the fitted ``ef``/``beam_width``/
+``rerank``/route.  It round-trips through JSON (``save``/``load``), rides
+in ``store-config.json`` so recovery restores it, and ships through the
+cluster router's worker specs so every shard plans with the same table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+#: Route names a bin may carry: "default" keeps the store's native path
+#: (compressed stores stay on the ADC hot path), "pq" forces the compressed
+#: path, "exact" forces full-precision traversal (hard/OOD queries must not
+#: pay quantization error on top of their already-long walks).
+ROUTES = ("default", "pq", "exact")
+
+
+@dataclasses.dataclass
+class BinSetting:
+    """Search parameters for one hardness bin."""
+
+    ef: int
+    beam_width: int | None = None
+    rerank: int | None = None
+    route: str = "default"
+
+    def __post_init__(self):
+        self.ef = int(self.ef)
+        if self.ef <= 0:
+            raise ValueError(f"ef must be positive, got {self.ef}")
+        if self.beam_width is not None and int(self.beam_width) <= 0:
+            raise ValueError(
+                f"beam_width must be positive, got {self.beam_width}")
+        if self.rerank is not None and int(self.rerank) <= 0:
+            raise ValueError(f"rerank must be positive, got {self.rerank}")
+        if self.route not in ROUTES:
+            raise ValueError(
+                f"route must be one of {ROUTES}, got {self.route!r}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class TunedConfig:
+    """A fitted per-hardness-bin parameter table (see :mod:`repro.tuning`).
+
+    Attributes
+    ----------
+    k, target_recall:
+        What the table was fitted for; consumers may serve other ``k`` but
+        the recall contract only covers the fitted one.
+    edges:
+        ``n_bins - 1`` ascending hardness edges.  A query's bin is
+        ``np.digitize(hardness, edges)``; hardness is the distance to the
+        nearest landmark.
+    bins:
+        One :class:`BinSetting` per bin, index 0 = easiest.
+    landmarks:
+        The (n_landmarks, dim) float32 centroid set that defines the
+        hardness measure.  Fitted from the calibration workload; the
+        serving planner keeps adapting it from observed queries.
+    default_ef:
+        The single global ef the tuner would have hand-set (smallest grid
+        ef meeting the target on the calibration mix) — the untuned
+        baseline, kept for reporting and as the fallback when a consumer
+        cannot plan (e.g. empty landmark set).
+    score_shift:
+        Navigability-prior threshold: when the control plane's hardness
+        prior (:meth:`repro.control.NavigabilitySignals.hardness_prior`)
+        meets it, predicted bins shift one step harder.
+    metric:
+        Distance metric name the landmarks/hardness were computed under.
+    meta:
+        Free-form provenance (dataset, grid, recall table, timestamps).
+    """
+
+    k: int
+    target_recall: float
+    edges: list[float]
+    bins: list[BinSetting]
+    landmarks: list[list[float]]
+    default_ef: int
+    score_shift: float = 0.6
+    metric: str = "cosine"
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        self.k = int(self.k)
+        self.default_ef = int(self.default_ef)
+        self.bins = [b if isinstance(b, BinSetting) else BinSetting(**b)
+                     for b in self.bins]
+        self.edges = [float(e) for e in self.edges]
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if not self.bins:
+            raise ValueError("bins must be non-empty")
+        if len(self.edges) != len(self.bins) - 1:
+            raise ValueError(
+                f"{len(self.bins)} bins need {len(self.bins) - 1} edges, "
+                f"got {len(self.edges)}")
+        if any(b > a for b, a in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"edges must be ascending, got {self.edges}")
+        if self.default_ef <= 0:
+            raise ValueError(
+                f"default_ef must be positive, got {self.default_ef}")
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+    def landmark_matrix(self) -> np.ndarray:
+        return np.asarray(self.landmarks, dtype=np.float32)
+
+    def setting(self, b: int) -> BinSetting:
+        """The bin's settings, clamped into range."""
+        return self.bins[min(max(int(b), 0), len(self.bins) - 1)]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "target_recall": self.target_recall,
+            "edges": self.edges,
+            "bins": [b.to_dict() for b in self.bins],
+            "landmarks": [[float(x) for x in row] for row in self.landmarks],
+            "default_ef": self.default_ef,
+            "score_shift": self.score_shift,
+            "metric": self.metric,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TunedConfig":
+        kwargs = {key: data[key] for key in (
+            "k", "target_recall", "edges", "bins", "landmarks", "default_ef")}
+        for key in ("score_shift", "metric", "meta"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "TunedConfig":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def coerce_tuned_config(value) -> TunedConfig | None:
+    """Accept a TunedConfig, a dict, or a JSON file path (None passes)."""
+    if value is None or isinstance(value, TunedConfig):
+        return value
+    if isinstance(value, dict):
+        return TunedConfig.from_dict(value)
+    if isinstance(value, (str, pathlib.Path)):
+        return TunedConfig.load(value)
+    raise TypeError(
+        f"tuned_config must be a TunedConfig, dict, or path, "
+        f"got {type(value).__name__}")

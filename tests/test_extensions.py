@@ -13,7 +13,7 @@ from repro.core import (
     ngfix_plus_query,
 )
 from repro.core.ngfix_plus import perturb_within_ball
-from repro.evalx import recall_at_k
+from repro.evalx import compute_ground_truth, recall_at_k
 from repro.graphs import HNSW
 
 
@@ -313,3 +313,29 @@ class TestAdaptiveSearcher:
         d = calibrated.history_distance(tiny_ds.test_queries[:5])
         assert d.shape == (5,)
         assert (d >= 0).all()
+
+    def test_empty_bins_inherit_nearest_fitted_ef(self, tiny_ds,
+                                                  shared_hnsw, tiny_gt):
+        # Regression: identical calibration queries collapse every
+        # similarity quantile onto one value, leaving all but one bin
+        # empty.  Empty bins must inherit the nearest fitted bin's ef —
+        # not silently pin the grid maximum.
+        searcher = AdaptiveSearcher(shared_hnsw, tiny_ds.train_queries,
+                                    n_bins=4)
+        queries = np.repeat(tiny_ds.test_queries[:1], 12, axis=0)
+        gt = compute_ground_truth(tiny_ds.base, queries, 10, tiny_ds.metric)
+        table = searcher.calibrate(queries, gt, k=10, target_recall=0.9,
+                                   ef_grid=[10, 20, 40, 320])
+        fitted = [b for b, row in table.items()
+                  if row["n_queries"] > 0]
+        assert len(fitted) == 1
+        src = fitted[0]
+        for b, row in table.items():
+            assert row["ef"] == table[src]["ef"]
+            if b != src:
+                assert row["n_queries"] == 0
+                assert row["inherited_from"] == src
+        # The inherited ef is the fitted one, not the grid max (unless the
+        # fitted bin itself needed it).
+        if table[src]["ef"] != 320:
+            assert all(ef != 320 for ef in searcher._bin_ef)

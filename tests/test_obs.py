@@ -209,11 +209,15 @@ class TestTraces:
         with pytest.raises(ValueError, match="capacity"):
             TraceLog(capacity=0)
 
-    def test_clear(self):
+    def test_clear_keeps_counter_monotonic(self):
         log = TraceLog(capacity=4)
         log.record(QueryTrace())
         log.clear()
-        assert len(log) == 0 and log.n_recorded == 0
+        # The ring empties but the lifetime counter never rewinds: rate and
+        # baseline consumers difference n_recorded across reads.
+        assert len(log) == 0 and log.n_recorded == 1
+        log.record(QueryTrace())
+        assert log.n_recorded == 2
 
 
 class TestServingIntegration:
