@@ -1,0 +1,475 @@
+"""Extension — gray-failure resilience: hedges, breakers, admission control.
+
+Three arms, results merged into ``BENCH_resilience.json`` at the repo root:
+
+- **Tail latency under a gray replica**: one replica of a 2-shard x 2-replica
+  cluster is made slow-but-alive (a ``worker.pre_reply`` delay at 50x the
+  healthy p50, floored at 80 ms).  An unhedged router (sequential replica
+  use, breakers off) pays the delay on every round-robin pick of the gray
+  replica; the resilient router hedges the read after the replica's
+  EWMA-tracked p95 and lets its breaker route around the replica once it
+  keeps losing.  The gate is the p99 ratio at equal recall@10.
+- **Breaker re-admission**: with the fault armed the victim's breaker
+  trips OPEN; after ``disarm_faults`` the next due half-open probe must
+  re-admit the replica — state back to CLOSED, at least one counted
+  re-admit, and **zero respawns** (recovery by probing, not by process
+  replacement).
+- **Front-door admission + brownout**: a burst of concurrent clients
+  against a bounded front door.  Excess arrivals shed with the typed
+  ``Overloaded`` (queue depth never exceeds the bound), sustained pressure
+  browns the door out (reduced-``ef`` blocks, results marked degraded),
+  and once the burst passes the hysteresis exits brownout and serving
+  returns to full-effort non-degraded answers.
+
+Running the file directly (``python benchmarks/bench_ext_resilience.py``)
+performs the CI smoke pass at whatever ``REPRO_BENCH_SCALE`` is set:
+every arm runs with loosened-but-real gates, no JSON.
+"""
+
+import asyncio
+import atexit
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from workbench import BENCH_SCALE, K, get_dataset, get_gt, record
+from repro.cluster import (
+    BrownoutController,
+    ClusterRouter,
+    FrontDoor,
+    Overloaded,
+    WORKER_PRE_REPLY_POINT,
+)
+from repro.cluster import resilience
+
+NAME = "laion-sim"
+BUILD = dict(M=12, ef_construction=60, seed=3)
+N_SHARDS = 2
+N_REPLICAS = 2
+EF = 30
+WARM_SEARCHES = 35           # prime every replica's tracker past warmup
+TAIL_SEARCHES = 80           # per arm; the unhedged arm eats the delay
+DELAY_FACTOR = 50.0          # gray delay = 50x healthy p50 ...
+DELAY_FLOOR_S = 0.08         # ... but at least this (tiny-scale graphs)
+
+# Deterministic breaker timing so the re-admission arm is not at the mercy
+# of jitter: capped backoff bounds the post-disarm probe wait.
+BREAKER = dict(backoff_base_s=0.4, backoff_factor=2.0, backoff_cap_s=0.8,
+               jitter=0.0, probe_timeout_s=0.1)
+
+TARGET_P99_RATIO = 3.0       # hedged must beat unhedged p99 by 3x
+SMOKE_P99_RATIO = 2.0        # CI-scale floor (tiny graphs, noisy timing)
+RECALL_BAND = 0.01           # the tail win may not buy recall
+
+FD_MAX_QUEUE = 24
+FD_MAX_BATCH = 8
+FD_ROUNDS = 3                # bursts of concurrent clients
+FD_BURST = 60                # arrivals per burst (>> max_queue: must shed)
+FD_LIGHT = 12                # sequential queries after the burst passes
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+
+def _queries(ds):
+    return np.ascontiguousarray(ds.test_queries, dtype=np.float32)
+
+
+def _recall_seq(results, gt_ids, idxs):
+    """recall@K for results answering queries[idxs] (cycling indices)."""
+    hits = 0
+    for r, qi in zip(results, idxs):
+        hits += len(set(r.ids[:K].tolist()) & set(gt_ids[qi, :K].tolist()))
+    return hits / (len(results) * K)
+
+
+def _warm(router, queries, n=WARM_SEARCHES):
+    for i in range(n):
+        router.search_batch(queries[i % len(queries):][:1], K, EF)
+
+
+def _arm_delay(handle, delay_s):
+    handle.rpc({"op": "arm_faults", "rules": [
+        {"point": WORKER_PRE_REPLY_POINT, "action": "delay",
+         "every": True, "delay_s": delay_s}]})
+
+
+def _tail_run(router, queries, n=TAIL_SEARCHES):
+    """n single-query searches; returns (latencies_s, results, idxs)."""
+    nq = queries.shape[0]
+    lat, results, idxs = [], [], []
+    for i in range(n):
+        qi = i % nq
+        t0 = time.perf_counter()
+        r = router.search_batch(queries[qi:qi + 1], K, EF)[0]
+        lat.append(time.perf_counter() - t0)
+        results.append(r)
+        idxs.append(qi)
+    return np.asarray(lat), results, idxs
+
+
+# -- shared fixtures (routers are processes; build once, reap at exit) -------
+
+_ROUTERS: dict = {}
+
+
+def _get_router(kind: str) -> ClusterRouter:
+    """'resilient' (hedge + breakers) or 'plain' (neither) router."""
+    if kind not in _ROUTERS:
+        ds = get_dataset(NAME)
+        kwargs = (dict(hedge=True, breaker_config=dict(BREAKER))
+                  if kind == "resilient"
+                  else dict(hedge=False, breaker_config={"enabled": False}))
+        router = ClusterRouter(ds.base.shape[1], ds.metric,
+                               n_shards=N_SHARDS, n_replicas=N_REPLICAS,
+                               **BUILD, **kwargs)
+        router.load(ds.base)
+        _ROUTERS[kind] = router
+    return _ROUTERS[kind]
+
+
+def _reap():
+    for router in _ROUTERS.values():
+        router.close()
+    _ROUTERS.clear()
+
+
+atexit.register(_reap)
+
+
+def _victim(router):
+    return router.handles[0][0]
+
+
+def _disarm(router):
+    """Disarm the gray fault on every replica that carries one."""
+    _victim(router).rpc({"op": "disarm_faults"})
+
+
+# -- arm 1: tail latency under a gray replica --------------------------------
+
+def run_tail():
+    """Hedged vs unhedged p99 against a 50x-delayed replica, equal recall."""
+    ds = get_dataset(NAME)
+    gt = get_gt(NAME)
+    queries = _queries(ds)
+
+    resilient = _get_router("resilient")
+    plain = _get_router("plain")
+    _warm(resilient, queries)
+    _warm(plain, queries)
+
+    # Healthy operating point (and the hedge delay the tracker learned).
+    healthy_lat, healthy_results, healthy_idx = _tail_run(
+        resilient, queries, n=min(TAIL_SEARCHES, 40))
+    healthy_p50 = float(np.percentile(healthy_lat, 50))
+    delay_s = max(DELAY_FACTOR * healthy_p50, DELAY_FLOOR_S)
+
+    _arm_delay(_victim(resilient), delay_s)
+    hedged_lat, hedged_results, hedged_idx = _tail_run(resilient, queries)
+    hedges = resilient.n_hedges
+    hedge_wins = resilient.n_hedge_wins
+    trips = resilient.router_stats()["breaker_trips"]
+
+    _arm_delay(_victim(plain), delay_s)
+    plain_lat, plain_results, plain_idx = _tail_run(plain, queries)
+    _disarm(plain)
+    _disarm(resilient)
+
+    def pcts(lat):
+        return {p: round(float(np.percentile(lat, p)) * 1e3, 2)
+                for p in (50, 95, 99)}
+
+    hedged_p99 = float(np.percentile(hedged_lat, 99))
+    plain_p99 = float(np.percentile(plain_lat, 99))
+    return {
+        "n_searches": TAIL_SEARCHES,
+        "ef": EF,
+        "healthy_p50_ms": round(healthy_p50 * 1e3, 2),
+        "delay_ms": round(delay_s * 1e3, 1),
+        "delay_factor": DELAY_FACTOR,
+        "healthy_ms": pcts(healthy_lat),
+        "hedged_ms": pcts(hedged_lat),
+        "unhedged_ms": pcts(plain_lat),
+        "p99_ratio": round(plain_p99 / hedged_p99, 2),
+        "hedges": hedges,
+        "hedge_wins": hedge_wins,
+        "breaker_trips": trips,
+        "recall_healthy": round(
+            _recall_seq(healthy_results, gt.ids, healthy_idx), 4),
+        "recall_hedged": round(
+            _recall_seq(hedged_results, gt.ids, hedged_idx), 4),
+        "recall_unhedged": round(
+            _recall_seq(plain_results, gt.ids, plain_idx), 4),
+        "hedged_degraded": sum(r.degraded for r in hedged_results),
+    }
+
+
+# -- arm 2: breaker trips under fault, probe re-admits after disarm ----------
+
+def run_breaker():
+    """OPEN under the gray fault; CLOSED again via probe, zero respawns."""
+    ds = get_dataset(NAME)
+    queries = _queries(ds)
+    router = _get_router("resilient")
+    victim = _victim(router)
+    breaker = victim.breaker
+
+    _warm(router, queries, n=10)  # trackers warm if this arm runs alone
+    _arm_delay(victim, DELAY_FLOOR_S)
+
+    # Drive until the breaker is observably OPEN.  Probe cycles may
+    # transiently re-admit the gray replica (its reply does arrive, just
+    # late); the latency/outpace failures re-trip it within a few picks.
+    for i in range(60):
+        if breaker.state == resilience.OPEN:
+            break
+        router.search_batch(queries[i % len(queries):][:1], K, EF)
+    state_under_fault = breaker.state
+    trips_under_fault = breaker.n_trips
+    readmits_before = router.router_stats()["breaker_readmits"]
+    respawns_before = router.n_respawns
+
+    _disarm(router)
+    time.sleep(BREAKER["backoff_cap_s"] + 0.25)  # let the backoff elapse
+
+    # Serve: the due probe is sent on one pick, its reply checked on a
+    # later one; a handful of searches is enough to close the loop.
+    t0 = time.perf_counter()
+    for i in range(100):
+        if breaker.state == resilience.CLOSED:
+            break
+        router.search_batch(queries[i % len(queries):][:1], K, EF)
+        time.sleep(0.02)
+    readmit_s = time.perf_counter() - t0
+
+    stats = router.router_stats()
+    post = [router.search_batch(queries[i:i + 1], K, EF)[0]
+            for i in range(8)]
+    return {
+        "state_under_fault": state_under_fault,
+        "trips_under_fault": trips_under_fault,
+        "state_after_disarm": breaker.state,
+        "readmits_after_disarm":
+            stats["breaker_readmits"] - readmits_before,
+        "readmit_seconds": round(readmit_s, 3),
+        "respawns_during_readmit": router.n_respawns - respawns_before,
+        "respawns_total": router.n_respawns,
+        "live_replicas": router.live_replicas(),
+        "post_degraded": sum(r.degraded for r in post),
+        "backoff_cap_s": BREAKER["backoff_cap_s"],
+    }
+
+
+# -- arm 3: front-door admission control + brownout --------------------------
+
+async def _drive_frontdoor(door, queries):
+    """Burst rounds (must shed + brown out), then a light sequential tail."""
+    nq = queries.shape[0]
+    served, shed, degraded = 0, 0, 0
+
+    async def one(i):
+        nonlocal served, shed, degraded
+        try:
+            r = await door.search(queries[i % nq])
+        except Overloaded:
+            shed += 1
+            return
+        served += 1
+        degraded += bool(r.degraded)
+
+    for rnd in range(FD_ROUNDS):
+        await asyncio.gather(*(one(rnd * FD_BURST + i)
+                               for i in range(FD_BURST)))
+    overload = {"served": served, "shed": shed, "degraded": degraded,
+                "brownout_entered": door._brownout.n_entries >= 1}
+
+    light = []
+    for i in range(FD_LIGHT):
+        light.append(await door.search(queries[i % nq]))
+        await asyncio.sleep(0.005)
+    await door.drain()
+    return overload, light
+
+
+def run_frontdoor():
+    """Bounded shed under burst, brownout in, hysteretic recovery out."""
+    ds = get_dataset(NAME)
+    queries = _queries(ds)
+    router = _get_router("resilient")
+    router.search_batch(queries[:8], K, EF)  # warm
+
+    door = FrontDoor(router, window_ms=1.0, max_batch=FD_MAX_BATCH, k=K,
+                     ef=EF, max_queue=FD_MAX_QUEUE, executor_workers=1,
+                     brownout=BrownoutController(
+                         enter_score=0.5, exit_score=0.2,
+                         enter_after=2, exit_after=2))
+    overload, light = asyncio.run(_drive_frontdoor(door, queries))
+    stats = door.stats()
+    tail = light[-5:]
+    return {
+        "rounds": FD_ROUNDS,
+        "burst": FD_BURST,
+        "max_queue": FD_MAX_QUEUE,
+        "served": overload["served"],
+        "shed": overload["shed"],
+        "degraded_during_overload": overload["degraded"],
+        "brownout_entered": overload["brownout_entered"],
+        "brownout_blocks": stats["brownout_blocks"],
+        "max_depth_seen": stats["max_depth_seen"],
+        "brownout_active_after_light": stats["brownout"]["active"],
+        "brownout_exits": stats["brownout"]["exits"],
+        "light_tail_degraded": sum(r.degraded for r in tail),
+    }
+
+
+# -- JSON merge ---------------------------------------------------------------
+
+def _merge_json(update: dict):
+    payload = {}
+    if JSON_PATH.exists():
+        payload = json.loads(JSON_PATH.read_text())
+    payload.update(update)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# -- gates --------------------------------------------------------------------
+
+def _assert_tail(results, ratio_floor):
+    assert results["hedges"] > 0, "the gray replica was never hedged"
+    assert results["hedge_wins"] > 0, "no hedge ever won"
+    assert results["hedged_degraded"] == 0, (
+        "hedged serving degraded under a single gray replica")
+    assert results["p99_ratio"] >= ratio_floor, (
+        f"hedged p99 only {results['p99_ratio']}x better than unhedged, "
+        f"need {ratio_floor}x (hedged {results['hedged_ms'][99]} ms vs "
+        f"unhedged {results['unhedged_ms'][99]} ms)")
+    gap = abs(results["recall_hedged"] - results["recall_unhedged"])
+    assert gap <= RECALL_BAND, (
+        f"hedged and unhedged recall diverge by {gap:.4f} "
+        f"(> {RECALL_BAND}); the tail win must not change answers")
+
+
+def _assert_breaker(results):
+    assert results["trips_under_fault"] >= 1, (
+        "the breaker never tripped under the gray fault")
+    assert results["state_after_disarm"] == resilience.CLOSED, (
+        f"breaker still {results['state_after_disarm']} after disarm")
+    assert results["readmits_after_disarm"] >= 1, (
+        "recovery happened without a counted probe re-admit")
+    assert results["respawns_during_readmit"] == 0, (
+        "re-admission leaned on a respawn; probes must recover gray "
+        "replicas without process replacement")
+    assert results["post_degraded"] == 0
+
+
+def _assert_frontdoor(results):
+    assert results["shed"] > 0, "the burst never hit the admission bound"
+    assert results["max_depth_seen"] <= results["max_queue"], (
+        f"queue depth {results['max_depth_seen']} exceeded the "
+        f"{results['max_queue']} bound")
+    assert results["brownout_entered"], (
+        "sustained overload never browned the door out")
+    assert results["brownout_blocks"] >= 1
+    assert results["degraded_during_overload"] >= 1, (
+        "browned-out blocks must mark their results degraded")
+    assert not results["brownout_active_after_light"], (
+        "brownout never exited after the burst passed")
+    assert results["light_tail_degraded"] == 0, (
+        "post-recovery serving still returns degraded answers")
+
+
+# -- pytest entries ----------------------------------------------------------
+
+def test_ext_resilience_tail(benchmark):
+    results = run_tail()
+    rows = [
+        ("healthy (hedged router)", results["healthy_ms"][50],
+         results["healthy_ms"][95], results["healthy_ms"][99],
+         results["recall_healthy"]),
+        (f"unhedged + {results['delay_ms']}ms gray replica",
+         results["unhedged_ms"][50], results["unhedged_ms"][95],
+         results["unhedged_ms"][99], results["recall_unhedged"]),
+        (f"hedged + {results['delay_ms']}ms gray replica",
+         results["hedged_ms"][50], results["hedged_ms"][95],
+         results["hedged_ms"][99], results["recall_hedged"]),
+        ("p99 ratio (unhedged/hedged)", "-", "-",
+         results["p99_ratio"], "-"),
+    ]
+    record(
+        "ext_resilience_tail",
+        f"hedged reads vs a gray replica ({N_SHARDS}x{N_REPLICAS}, {NAME})",
+        ["arm", "p50 ms", "p95 ms", "p99 ms", f"recall@{K}"],
+        rows,
+        notes=f"one replica delayed {results['delay_factor']}x the healthy "
+              f"p50 via worker.pre_reply; hedge fires at the EWMA p95, "
+              f"breaker trips after repeated losses ({results['hedges']} "
+              f"hedges, {results['hedge_wins']} wins, "
+              f"{results['breaker_trips']} trips); JSON copy at "
+              f"BENCH_resilience.json",
+    )
+    _merge_json({"dataset": NAME, "k": K, "scale": BENCH_SCALE,
+                 "tail": results})
+    _assert_tail(results, TARGET_P99_RATIO)
+    ds = get_dataset(NAME)
+    queries = _queries(ds)
+    router = _get_router("resilient")
+    benchmark(lambda: router.search_batch(queries[:1], K, EF))
+
+
+def test_ext_resilience_breaker():
+    results = run_breaker()
+    record(
+        "ext_resilience_breaker",
+        "breaker trips OPEN under fault, half-open probe re-admits",
+        ["metric", "value"],
+        [(key, results[key]) for key in results],
+        notes="gray fault disarmed remotely; after the capped backoff the "
+              "due probe re-admits the replica with zero respawns",
+    )
+    _merge_json({"breaker": results})
+    _assert_breaker(results)
+
+
+def test_ext_resilience_frontdoor():
+    results = run_frontdoor()
+    record(
+        "ext_resilience_frontdoor",
+        "front-door admission: bounded shed, brownout, hysteretic recovery",
+        ["metric", "value"],
+        [(key, results[key]) for key in results],
+        notes=f"{FD_ROUNDS} bursts of {FD_BURST} concurrent clients against "
+              f"max_queue={FD_MAX_QUEUE}; excess sheds typed Overloaded, "
+              f"sustained pressure serves degraded reduced-ef blocks, "
+              f"light tail recovers non-degraded",
+    )
+    _merge_json({"frontdoor": results})
+    _assert_frontdoor(results)
+
+
+def main():
+    """CI smoke: every arm at REPRO_BENCH_SCALE, loosened gates, no JSON."""
+    start = time.perf_counter()
+    tail = run_tail()
+    print(f"tail     : hedged {tail['hedged_ms']} vs unhedged "
+          f"{tail['unhedged_ms']} (ratio {tail['p99_ratio']}x, "
+          f"{tail['hedges']} hedges/{tail['hedge_wins']} wins)")
+    _assert_tail(tail, SMOKE_P99_RATIO)
+
+    breaker = run_breaker()
+    print(f"breaker  : {breaker}")
+    _assert_breaker(breaker)
+
+    frontdoor = run_frontdoor()
+    print(f"frontdoor: {frontdoor}")
+    _assert_frontdoor(frontdoor)
+    print(f"smoke pass in {time.perf_counter() - start:.1f}s "
+          "(tail + breaker + frontdoor gates at smoke thresholds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -266,9 +266,26 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "batched calls")
     p_cluster.add_argument("--window-ms", type=float, default=2.0,
                            help="front-door coalescing window")
+    p_cluster.add_argument("--max-queue", type=int, default=1024,
+                           help="front-door admission bound (queued + "
+                                "in-flight); excess arrivals are shed with "
+                                "a typed Overloaded rejection")
+    p_cluster.add_argument("--no-hedge", action="store_true",
+                           help="disable hedged reads (strictly sequential "
+                                "replica failover)")
+    p_cluster.add_argument("--hedge-ms", type=float, default=None,
+                           help="fixed hedge delay override; default: "
+                                "per-replica EWMA p95")
+    p_cluster.add_argument("--max-pending", type=int, default=1024,
+                           help="per-replica catch-up buffer bound; overflow "
+                                "forces a peer resync at respawn")
     p_cluster.add_argument("--chaos", action="store_true",
                            help="kill shard 0 mid-run via repro.faults, then "
                                 "respawn it through WAL recovery")
+    p_cluster.add_argument("--gray-chaos", action="store_true",
+                           help="delay replica (0,0)'s replies mid-run (gray "
+                                "failure) and report hedging + breaker "
+                                "re-admission instead of a respawn")
     _add_policy(p_cluster)
     _add_compressed(p_cluster)
     _add_tuned(p_cluster)
@@ -590,7 +607,9 @@ def _cmd_cluster(args) -> int:
     router = ClusterRouter(
         dim=ds.base.shape[1], metric=ds.metric, n_shards=args.n_shards,
         n_replicas=args.n_replicas, base_dir=args.base_dir,
-        M=12, ef_construction=60, seed=args.seed, **kwargs)
+        M=12, ef_construction=60, seed=args.seed,
+        hedge=not args.no_hedge, hedge_ms=args.hedge_ms,
+        max_pending=args.max_pending, **kwargs)
     try:
         router.load(ds.base, train_queries=ds.train_queries)
         k, ef = args.k, max(args.ef, args.k)
@@ -605,16 +624,21 @@ def _cmd_cluster(args) -> int:
             from repro.cluster import FrontDoor
             door = FrontDoor(router, window_ms=args.window_ms,
                              max_batch=args.batch_size, k=k, ef=ef,
-                             deadline_ms=args.deadline_ms)
+                             deadline_ms=args.deadline_ms,
+                             max_queue=args.max_queue)
 
             async def serve():
                 await asyncio.gather(
-                    *(door.search(q) for q in ds.test_queries))
+                    *(door.search(q) for q in ds.test_queries),
+                    return_exceptions=True)
+                await door.drain()
             asyncio.run(serve())
             fd = door.stats()
             print(f"  front door: {fd['dispatched']} queries in "
                   f"{fd['blocks']} blocks (mean batch "
-                  f"{fd['mean_batch']:.1f}, window {args.window_ms}ms)")
+                  f"{fd['mean_batch']:.1f}, window {args.window_ms}ms, "
+                  f"{fd['shed']} shed, peak depth {fd['max_depth_seen']}/"
+                  f"{fd['max_queue']})")
         if args.chaos:
             handle = router.handles[0][0]
             handle.rpc({"op": "arm_faults", "rules": [
@@ -630,11 +654,36 @@ def _cmd_cluster(args) -> int:
                   f"degraded answers, recovery consistent: "
                   f"{report.get('consistent') if report else 'n/a'}, "
                   f"{router.live_replicas()} replicas live")
+        if args.gray_chaos:
+            import time as _time
+
+            from repro.cluster import WORKER_PRE_REPLY_POINT
+            victim = router.handles[0][0]
+            victim.rpc({"op": "arm_faults", "rules": [
+                {"point": WORKER_PRE_REPLY_POINT, "action": "delay",
+                 "every": True, "delay_s": 0.05}]})
+            for q in ds.test_queries[:48]:
+                router.search(q, k, ef)
+            tripped = victim.breaker.state
+            victim.rpc({"op": "disarm_faults"})
+            _time.sleep(0.6)  # let the breaker's retry backoff elapse
+            for q in ds.test_queries[:32]:
+                router.search(q, k, ef)
+                _time.sleep(0.005)
+            rs = router.router_stats()
+            print(f"  gray chaos: replica 0.0 delayed 50ms — breaker "
+                  f"{tripped} under fault, {rs['hedges']} hedges "
+                  f"({rs['hedge_wins']} won), re-admitted: "
+                  f"{victim.breaker.state == 'closed'} "
+                  f"({rs['breaker_readmits']} readmits, "
+                  f"{rs['respawns']} respawns)")
         merged = router.stats()["merged"]
         stats = router.router_stats()
         print(f"  router: {stats['searches']} searches, "
               f"{stats['retries']} replica retries, "
               f"{stats['degraded']} degraded, "
+              f"{stats['hedges']} hedges, "
+              f"{stats['breaker_trips']} breaker trips, "
               f"{stats['respawns']} respawns")
         comp = merged.get("compressed")
         if isinstance(comp, dict):

@@ -1,5 +1,6 @@
 """Sharded, replicated serving: shard workers, scatter-gather router,
-async coalescing front door.  See docs/architecture.md ("Scaling out").
+async coalescing front door, gray-failure resilience.  See
+docs/architecture.md ("Scaling out").
 """
 
 from repro.cluster.frontdoor import FrontDoor
@@ -10,6 +11,14 @@ from repro.cluster.protocol import (
     recv_msg,
     send_msg,
 )
+from repro.cluster.resilience import (
+    Backoff,
+    BreakerConfig,
+    BrownoutController,
+    CircuitBreaker,
+    LatencyTracker,
+    Overloaded,
+)
 from repro.cluster.router import (
     ClusterError,
     ClusterRouter,
@@ -19,14 +28,26 @@ from repro.cluster.router import (
     shard_budget_ms,
 )
 from repro.cluster.stats import merge_stats
-from repro.cluster.worker import WORKER_OP_POINT, pq_signature, shard_wal_dir
+from repro.cluster.worker import (
+    WORKER_OP_POINT,
+    WORKER_PRE_REPLY_POINT,
+    pq_signature,
+    shard_wal_dir,
+)
 
 __all__ = [
+    "Backoff",
+    "BreakerConfig",
+    "BrownoutController",
+    "CircuitBreaker",
     "ClusterError",
     "ClusterRouter",
     "FrontDoor",
+    "LatencyTracker",
+    "Overloaded",
     "ProtocolError",
     "WORKER_OP_POINT",
+    "WORKER_PRE_REPLY_POINT",
     "decode",
     "encode",
     "hash_partition",

@@ -6,24 +6,41 @@ per partition in the router — amortizes per ``search_batch`` block.  The
 front door closes that gap: concurrent ``await frontdoor.search(q)`` calls
 landing within a small window (``window_ms`` deadline or ``max_batch``
 fill, whichever first) are stacked into one query matrix, dispatched as a
-single router ``search_batch`` in a worker thread, and fanned back to each
-caller's future.
+single router ``search_batch`` on a dedicated bounded executor, and fanned
+back to each caller's future.
 
 The coalescing trade-off is explicit and measured: a lone query pays up to
 ``window_ms`` extra latency; at high concurrency the batch kernel and the
 once-per-block scatter overhead are shared by every rider, which is where
 the throughput multiple comes from (see ``BENCH_sharding.json``'s
-coalescing curve).  Queue depth and realized batch sizes are exported as
-``cluster_frontdoor_*`` metrics so the window can be tuned from telemetry.
+coalescing curve).
+
+The door is also the cluster's admission controller.  Load it cannot serve
+is bounded, not buffered: once ``max_queue`` queries are waiting or
+in flight, new arrivals are rejected with the typed
+:class:`~repro.cluster.resilience.Overloaded` — back-pressure the caller
+can retry against, instead of a queue whose wait time silently grows past
+every deadline.  Under *sustained* pressure the door browns out before it
+sheds everything: blocks dispatch at a reduced search effort (the tuned
+config's easy-bin ``ef`` when the searcher carries one) and their results
+are marked ``degraded``, trading recall for admission — recovering
+hysteretically (:class:`~repro.cluster.resilience.BrownoutController`)
+once the overload score stays low.  Queue depth, realized batch sizes,
+sheds, and brownout state are exported as ``cluster_frontdoor_*`` metrics
+so the window and bound can be tuned from telemetry.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.cluster.resilience import BrownoutController, Overloaded, \
+    overload_score
 from repro.obs import OBS
 
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
@@ -33,6 +50,12 @@ _COALESCED = OBS.histogram(
 _WAITS = OBS.histogram(
     "cluster_frontdoor_wait_seconds",
     "time a query waited in the coalescing window")
+_SHED = OBS.counter(
+    "cluster_frontdoor_shed",
+    "queries rejected (Overloaded) because the admission bound was hit")
+_BROWNOUT_BLOCKS = OBS.counter(
+    "cluster_frontdoor_brownout_blocks",
+    "blocks dispatched at reduced effort while browned out")
 
 
 class _Pending:
@@ -63,35 +86,83 @@ class FrontDoor:
         Defaults applied to queries that do not override them; per-call
         ``k`` must match within one block, so mixed-k calls dispatch in
         k-homogeneous groups.
+    max_queue:
+        Admission bound: queries *waiting plus in flight* may not exceed
+        this; excess arrivals raise
+        :class:`~repro.cluster.resilience.Overloaded`.
+    executor_workers:
+        Size of the door's own dispatch pool (replacing the loop's
+        unbounded default executor); shut down by :meth:`drain`.
+    brownout:
+        A :class:`~repro.cluster.resilience.BrownoutController` override
+        (mostly for tests); ``None`` builds the default hysteresis.
     """
 
     def __init__(self, searcher, window_ms: float = 2.0,
                  max_batch: int = 64, k: int = 10, ef: int | None = None,
-                 deadline_ms: float | None = None):
+                 deadline_ms: float | None = None, max_queue: int = 1024,
+                 executor_workers: int = 4,
+                 brownout: BrownoutController | None = None):
         self.searcher = searcher
         self.window_ms = window_ms
         self.max_batch = max_batch
         self.k = k
         self.ef = ef
         self.deadline_ms = deadline_ms
+        self.max_queue = max(int(max_queue), 1)
         self.n_dispatched = 0
         self.n_blocks = 0
+        self.n_shed = 0
+        self.n_brownout_blocks = 0
+        self.max_depth_seen = 0
+        self._inflight = 0
+        self._sheds_window = 0   # sheds since the last dispatch
+        self._admits_window = 0  # admissions since the last dispatch
+        self._brownout = brownout or BrownoutController()
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(int(executor_workers), 1),
+            thread_name_prefix="repro-frontdoor")
+        self._outstanding: set[asyncio.Future] = set()
         self._queues: dict[int, list[_Pending]] = {}  # k -> waiting queries
         self._timers: dict[int, asyncio.TimerHandle] = {}
         self._lock = asyncio.Lock()
         OBS.gauge_fn("cluster_frontdoor_queue_depth",
                      lambda: sum(len(q) for q in self._queues.values()),
                      "queries waiting in the coalescing window")
+        OBS.gauge_fn("cluster_frontdoor_brownout_active",
+                     lambda: 1.0 if self._brownout.active else 0.0,
+                     "1 while the front door serves at reduced effort")
+
+    def _depth(self) -> int:
+        """Admission-control depth: queued *and* in-flight queries."""
+        return sum(len(q) for q in self._queues.values()) + self._inflight
 
     async def search(self, query: np.ndarray, k: int | None = None,
                      ef: int | None = None):
-        """Await one query's merged result; rides a coalesced block."""
+        """Await one query's merged result; rides a coalesced block.
+
+        Raises :class:`~repro.cluster.resilience.Overloaded` when the
+        door's queued + in-flight depth is at ``max_queue``.
+        """
+        if self._closed:
+            raise RuntimeError("front door has been drained")
         k = self.k if k is None else int(k)
         loop = asyncio.get_running_loop()
         pending = _Pending(
             np.ascontiguousarray(np.asarray(query, dtype=np.float32)),
             loop.create_future())
         async with self._lock:
+            depth = self._depth()
+            if depth >= self.max_queue:
+                self.n_shed += 1
+                self._sheds_window += 1
+                _SHED.inc()
+                raise Overloaded(
+                    f"front door at capacity ({depth}/{self.max_queue} "
+                    "queued or in flight)")
+            self._admits_window += 1
+            self.max_depth_seen = max(self.max_depth_seen, depth + 1)
             queue = self._queues.setdefault(k, [])
             queue.append(pending)
             if len(queue) >= self.max_batch:
@@ -103,6 +174,31 @@ class FrontDoor:
 
     def _on_window(self, loop: asyncio.AbstractEventLoop, k: int) -> None:
         self._dispatch(loop, k)
+
+    def _overload_score(self, block: list[_Pending], now: float) -> float:
+        """Control-plane-shaped pressure score at one dispatch (0 healthy)."""
+        oldest_wait = max(now - p.t_enqueue for p in block)
+        window_s = max(self.window_ms / 1000.0, 1e-4)
+        arrivals = self._admits_window + self._sheds_window
+        shed_rate = self._sheds_window / arrivals if arrivals else 0.0
+        score = overload_score(
+            queue_fraction=self._depth() / self.max_queue,
+            wait_ratio=oldest_wait / window_s,
+            shed_rate=shed_rate)
+        self._sheds_window = 0
+        self._admits_window = 0
+        return score
+
+    def _brownout_ef(self, k: int) -> int:
+        """Reduced-effort ef: tuned easy bin → halved default → plain k."""
+        tuned = getattr(self.searcher, "tuned_config", None)
+        if isinstance(tuned, dict):
+            bins = tuned.get("bins") or []
+            if bins and bins[0].get("ef"):
+                return max(int(bins[0]["ef"]), k)
+        if self.ef is not None:
+            return max(k, int(self.ef) // 2)
+        return k
 
     def _dispatch(self, loop: asyncio.AbstractEventLoop, k: int) -> None:
         """Cut the current window into one block and run it off-loop."""
@@ -119,18 +215,33 @@ class FrontDoor:
                 _WAITS.observe(now - pending.t_enqueue)
         self.n_blocks += 1
         self.n_dispatched += len(block)
+        self._inflight += len(block)
+        browned = self._brownout.update(self._overload_score(block, now))
+        ef = self.ef
+        if browned:
+            ef = self._brownout_ef(k)
+            self.n_brownout_blocks += 1
+            _BROWNOUT_BLOCKS.inc()
         queries = np.stack([p.query for p in block])
 
         def run():
-            return self.searcher.search_batch(
-                queries, k, self.ef, batch_size=max(len(block), 1),
+            results = self.searcher.search_batch(
+                queries, k, ef, batch_size=max(len(block), 1),
                 deadline_ms=self.deadline_ms)
+            if browned:
+                # Reduced-effort answers are honest about it: the caller
+                # sees the same degraded flag a deadline miss would set.
+                results = [dataclasses.replace(r, degraded=True)
+                           for r in results]
+            return results
 
-        task = loop.run_in_executor(None, run)
+        task = loop.run_in_executor(self._executor, run)
+        self._outstanding.add(task)
         task.add_done_callback(lambda fut: self._resolve(block, fut))
 
-    @staticmethod
-    def _resolve(block: list[_Pending], fut) -> None:
+    def _resolve(self, block: list[_Pending], fut) -> None:
+        self._inflight -= len(block)
+        self._outstanding.discard(fut)
         exc = fut.exception()
         if exc is not None:
             for pending in block:
@@ -143,11 +254,21 @@ class FrontDoor:
                 pending.future.set_result(result)
 
     async def drain(self) -> None:
-        """Dispatch any partially-filled windows immediately (for shutdown)."""
+        """Flush pending windows, await in-flight blocks, retire the pool.
+
+        Terminal: the dispatch executor is shut down, so the door serves
+        nothing afterwards (``search`` raises ``RuntimeError``).  Safe to
+        call more than once.
+        """
         loop = asyncio.get_running_loop()
         async with self._lock:
+            self._closed = True
             for k in list(self._queues):
                 self._dispatch(loop, k)
+            outstanding = list(self._outstanding)
+        if outstanding:
+            await asyncio.gather(*outstanding, return_exceptions=True)
+        self._executor.shutdown(wait=True)
 
     def stats(self) -> dict:
         return {
@@ -157,4 +278,10 @@ class FrontDoor:
                            if self.n_blocks else 0.0),
             "window_ms": self.window_ms,
             "max_batch": self.max_batch,
+            "max_queue": self.max_queue,
+            "shed": self.n_shed,
+            "max_depth_seen": self.max_depth_seen,
+            "inflight": self._inflight,
+            "brownout": self._brownout.stats(),
+            "brownout_blocks": self.n_brownout_blocks,
         }

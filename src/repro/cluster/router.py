@@ -13,11 +13,17 @@ presents the single-store surface on top:
 - **Searches** fan one batched RPC out to one replica per partition (round
   robin for read scaling), each carrying a per-shard deadline budget derived
   from the caller's ``deadline_ms`` (see :func:`shard_budget_ms`; the math
-  is documented in docs/durability.md).  A dead replica is retried on the
-  partition's next live replica with the *remaining* budget; a partition
-  with no live replica contributes nothing and the merged results come back
-  ``degraded`` — partial answers, never an error, mirroring the
-  single-store deadline contract.
+  is documented in docs/durability.md).  Replies are gathered through the
+  :func:`repro.cluster.resilience.scatter_gather` multiplexed event loop:
+  a slow partition never head-of-line-blocks the others, a straggling
+  primary is hedged to the partition's next live replica after its
+  EWMA-tracked hedge delay, and per-replica circuit breakers route around
+  gray (slow-but-alive) replicas until a non-blocking half-open probe
+  re-admits them.  A dead replica is retried on the partition's next live
+  replica with the *remaining* budget; a partition with no eligible
+  replica (or whose budget expires) contributes nothing and the merged
+  results come back ``degraded`` — partial answers, never an error,
+  mirroring the single-store deadline contract.
 - **Merging** is one vectorized pass (:func:`merge_topk_batch`): per-shard
   (B, k) id/distance blocks are concatenated, distance-sorted per row,
   deduplicated by gid (first occurrence wins — replica retries may deliver
@@ -40,7 +46,10 @@ import time
 
 import numpy as np
 
+from repro.cluster import resilience
 from repro.cluster.protocol import recv_msg, send_msg
+from repro.cluster.resilience import (BreakerConfig, CircuitBreaker,
+                                      LatencyTracker, scatter_gather)
 from repro.cluster.stats import merge_stats
 from repro.cluster.worker import shard_wal_dir, worker_main
 from repro.control.policy import make_policy
@@ -69,6 +78,11 @@ _RESPAWNS = OBS.counter(
     "cluster_respawns", "shard workers respawned through WAL recovery")
 _CATCHUP = OBS.counter(
     "cluster_catchup_replayed", "buffered mutations replayed at respawn")
+_CATCHUP_OVERFLOWS = OBS.counter(
+    "cluster_catchup_overflows",
+    "catch-up buffers that overflowed (full resync required at respawn)")
+_RESYNCS = OBS.counter(
+    "cluster_resyncs", "replicas resynchronized from a live peer")
 
 #: Fraction of the remaining deadline reserved for scatter/merge overhead;
 #: the rest is handed to the shard as its own search budget.
@@ -171,19 +185,37 @@ class _NDCShim:
 
 
 class ShardHandle:
-    """One replica process + its socket, liveness, and catch-up queue."""
+    """One replica process + its socket, liveness, breaker, and catch-up queue.
+
+    ``owes`` counts reply frames the router abandoned on this socket (hedge
+    losses, expired deadline waits, timed-out probes); they are drained via
+    :func:`repro.cluster.resilience.drain_stale` before the socket carries a
+    new RPC, so a stale answer is never mistaken for a fresh one.  The
+    catch-up queue is bounded by ``max_pending``: overflowing flips
+    ``catchup_overflow`` and drops the buffer — the replica then requires a
+    full WAL recovery *plus* an anti-entropy resync from a live peer at
+    :meth:`ClusterRouter.respawn` instead of silently growing router memory.
+    """
 
     def __init__(self, shard_id: int, replica_id: int, spec: dict,
-                 rpc_timeout: float):
+                 rpc_timeout: float, max_pending: int = 1024,
+                 breaker: CircuitBreaker | None = None,
+                 latency: LatencyTracker | None = None):
         self.shard_id = shard_id
         self.replica_id = replica_id
         self.spec = dict(spec)
         self.rpc_timeout = rpc_timeout
+        self.max_pending = max(int(max_pending), 1)
         self.alive = False
         self.sock: socket.socket | None = None
         self.process = None
         self.pending: list[dict] = []  # mutations missed while dead
+        self.catchup_overflow = False
         self.hello: dict = {}
+        self.owes = 0  # abandoned reply frames not yet drained
+        self.breaker = breaker or CircuitBreaker(
+            seed=shard_id * 8191 + replica_id)
+        self.latency = latency or LatencyTracker()
 
     def spawn(self, recover: bool = False) -> dict:
         """Fork the worker (fresh or in WAL-recovery mode); returns its hello."""
@@ -206,25 +238,50 @@ class ShardHandle:
                 f"shard {self.shard_id}.{self.replica_id} failed to start: "
                 f"{hello['err']}\n{hello.get('trace', '')}")
         self.alive = True
+        self.owes = 0
+        self.breaker.reset()
         self.hello = hello
         return hello
+
+    def buffer_catchup(self, msg: dict) -> None:
+        """Queue a missed mutation, or overflow into resync-required mode."""
+        if self.catchup_overflow:
+            return
+        if len(self.pending) >= self.max_pending:
+            self.pending.clear()
+            self.catchup_overflow = True
+            _CATCHUP_OVERFLOWS.inc()
+            return
+        self.pending.append(msg)
 
     def rpc(self, msg: dict) -> dict:
         """One request/reply round trip; ConnectionError marks the replica dead."""
         if not self.alive or self.sock is None:
             raise ConnectionError(
                 f"shard {self.shard_id}.{self.replica_id} is down")
-        _RPCS.inc()
-        try:
-            send_msg(self.sock, msg)
-            return recv_msg(self.sock)
-        except ConnectionError:
+        if self.owes and not resilience.drain_stale(self, self.rpc_timeout):
+            # Still owing after a full timeout: the stream cannot be
+            # trusted for request/reply pairing any more.
             self.mark_dead()
             _FAILURES.inc()
-            raise
+            raise ConnectionError(
+                f"shard {self.shard_id}.{self.replica_id} could not drain "
+                "stale replies")
+        _RPCS.inc()
+        try:
+            self.sock.settimeout(self.rpc_timeout)
+            send_msg(self.sock, msg)
+            return recv_msg(self.sock)
+        except (ConnectionError, OSError) as exc:
+            self.mark_dead()
+            _FAILURES.inc()
+            if isinstance(exc, ConnectionError):
+                raise
+            raise ConnectionError(str(exc)) from exc
 
     def mark_dead(self) -> None:
         self.alive = False
+        self.owes = 0
         if self.sock is not None:
             try:
                 self.sock.close()
@@ -285,6 +342,21 @@ class ClusterRouter:
         JSON path) shipped to every replica's store, so each shard runs
         the hardness-aware planner with the same per-bin table (landmark
         entry points still resolve against each shard's own graph).
+    hedge, hedge_ms:
+        Hedged reads: when a partition's primary reply outlasts the
+        replica's EWMA-tracked hedge delay (or the fixed ``hedge_ms``
+        override), the block is re-issued to the partition's next eligible
+        replica and the first reply wins.  Never fires when the partition
+        has a single live replica; ``hedge=False`` restores strictly
+        sequential replica use (the unhedged benchmark baseline).
+    breaker_config:
+        Per-replica :class:`~repro.cluster.resilience.BreakerConfig`
+        (instance or dict; ``{"enabled": False}`` disables breakers).
+        Each replica gets its own breaker with a deterministic distinct
+        jitter seed.
+    max_pending:
+        Bound on each replica's catch-up mutation buffer; overflow forces
+        a peer resync at :meth:`respawn` instead of unbounded growth.
     """
 
     def __init__(self, dim: int, metric: Metric | str = Metric.COSINE,
@@ -299,7 +371,9 @@ class ClusterRouter:
                  rpc_timeout: float = 120.0,
                  policy: str | None = None,
                  policy_config: dict | None = None,
-                 tuned_config=None):
+                 tuned_config=None,
+                 hedge: bool = True, hedge_ms: float | None = None,
+                 breaker_config=None, max_pending: int = 1024):
         check_positive(n_shards, "n_shards")
         check_positive(n_replicas, "n_replicas")
         # Fail fast on a bad policy spec here rather than as a worker
@@ -333,11 +407,19 @@ class ClusterRouter:
         self._deleted: set[int] = set()
         self._deleted_arr = np.empty(0, dtype=np.int64)
         self._rr = 0  # round-robin replica cursor
+        self.rpc_timeout = rpc_timeout
+        self.hedge_enabled = bool(hedge)
+        self.hedge_ms = hedge_ms
+        self.breaker_config = BreakerConfig.coerce(breaker_config)
+        self.max_pending = max_pending
         self.n_failures = 0
         self.n_retries = 0
         self.n_degraded = 0
         self.n_searches = 0
         self.n_respawns = 0
+        self.n_hedges = 0
+        self.n_hedge_wins = 0
+        self.n_resyncs = 0
         # Frames from concurrent calls must not interleave on the shared
         # shard sockets; every RPC round (scatter+gather, mutation fan-out,
         # stats sweep) runs under this lock.  The front door's executor
@@ -358,7 +440,11 @@ class ClusterRouter:
                     rerank=rerank, beam_width=beam_width,
                     policy=policy, policy_config=policy_config,
                     tuned_config=self.tuned_config)
-                replicas.append(ShardHandle(s, r, spec, rpc_timeout))
+                breaker = CircuitBreaker(self.breaker_config,
+                                         seed=seed * 31 + s * n_replicas + r)
+                replicas.append(ShardHandle(s, r, spec, rpc_timeout,
+                                            max_pending=max_pending,
+                                            breaker=breaker))
             self.handles.append(replicas)
         for replicas in self.handles:
             for handle in replicas:
@@ -367,6 +453,15 @@ class ClusterRouter:
                      lambda: sum(h.alive for row in self.handles
                                  for h in row),
                      "shard replica processes currently serving")
+        OBS.gauge_fn("cluster_breaker_state",
+                     lambda: sum(h.breaker.state_code()
+                                 for row in self.handles for h in row),
+                     "summed replica breaker codes "
+                     "(0 closed, 1 half-open, 2 open)")
+        OBS.gauge_fn("cluster_catchup_depth",
+                     lambda: max((len(h.pending) for row in self.handles
+                                  for h in row), default=0),
+                     "deepest per-replica catch-up mutation buffer")
 
     # -- context management --------------------------------------------------
 
@@ -445,14 +540,14 @@ class ClusterRouter:
         with self._io_lock:
             for handle in self.handles[shard_id]:
                 if not handle.alive:
-                    handle.pending.append(msg)
+                    handle.buffer_catchup(msg)
                     continue
                 try:
                     self._check(handle.rpc(msg))
                     acked += 1
                 except ConnectionError:
                     self._note_failure()
-                    handle.pending.append(msg)
+                    handle.buffer_catchup(msg)
         if not acked:
             raise ClusterError(
                 f"partition {shard_id} has no live replica; mutation "
@@ -545,12 +640,120 @@ class ClusterRouter:
     # -- reads ---------------------------------------------------------------
 
     def _live_replica(self, shard_id: int, skip: set[int]) -> ShardHandle | None:
+        """Plain liveness pick (round robin), ignoring breaker state."""
         replicas = self.handles[shard_id]
         for i in range(self.n_replicas):
             handle = replicas[(self._rr + i) % self.n_replicas]
             if handle.alive and handle.replica_id not in skip:
                 return handle
         return None
+
+    def _pick_replica(self, shard_id: int,
+                      skip: set[int]) -> ShardHandle | None:
+        """Breaker-aware read pick: route around OPEN replicas, run probes.
+
+        Probing is fully asynchronous so it never adds latency to the
+        query path: an OPEN replica whose backoff elapsed gets a ``ping``
+        *sent* (and is still skipped this round); a HALF_OPEN replica's
+        probe reply is checked with a zero-timeout readability test —
+        arrived and clean → breaker closes and the replica is eligible
+        again, straggling past ``probe_timeout_s`` → reopen with a longer
+        backoff.  Handles still owing stale frames get a tiny drain
+        budget; ones that cannot catch up are skipped, not waited on.
+        """
+        replicas = self.handles[shard_id]
+        for i in range(self.n_replicas):
+            handle = replicas[(self._rr + i) % self.n_replicas]
+            if not handle.alive or handle.replica_id in skip:
+                continue
+            breaker = handle.breaker
+            if breaker.state == resilience.HALF_OPEN:
+                self._check_probe(handle)
+            if breaker.state == resilience.OPEN and breaker.probe_due():
+                self._send_probe(handle)
+            if not handle.alive or not breaker.allows():
+                continue
+            if handle.owes and not resilience.drain_stale(handle, 0.02):
+                # Busy (or just died draining): do not wait on it.
+                if not handle.alive:
+                    self._note_failure()
+                continue
+            return handle
+        return None
+
+    def _send_probe(self, handle: ShardHandle) -> None:
+        """Fire-and-forget half-open probe; the reply is checked later."""
+        try:
+            send_msg(handle.sock, {"op": "ping"})
+        except (ConnectionError, OSError):
+            handle.mark_dead()
+            _FAILURES.inc()
+            self._note_failure()
+            return
+        handle.owes += 1
+        handle.breaker.begin_probe()
+
+    def _check_probe(self, handle: ShardHandle) -> None:
+        """Non-blocking probe-reply check for a HALF_OPEN replica.
+
+        All frames owed before the probe arrive first (the socket is
+        FIFO), so the replica has answered the probe exactly when the
+        owed count drains to zero.
+        """
+        breaker = handle.breaker
+        while handle.owes and resilience.readable(handle.sock, 0.0):
+            try:
+                handle.sock.settimeout(
+                    max(breaker.config.probe_timeout_s, 0.05))
+                recv_msg(handle.sock)
+            except (ConnectionError, OSError):
+                handle.mark_dead()
+                _FAILURES.inc()
+                self._note_failure()
+                breaker.probe_failed()
+                return
+            handle.owes -= 1
+        if handle.owes == 0:
+            breaker.close()
+            handle.latency.reset_window()
+        elif breaker.probe_expired():
+            breaker.probe_failed()
+
+    # -- scatter_gather callbacks (see repro.cluster.resilience) -------------
+
+    def _hedge_delay(self, handle: ShardHandle) -> float:
+        if self.hedge_ms is not None:
+            return self.hedge_ms / 1000.0
+        return handle.latency.hedge_delay()
+
+    def _has_hedge_target(self, shard_id: int, skip: set[int]) -> bool:
+        return any(h.alive and h.replica_id not in skip
+                   and h.breaker.allows()
+                   for h in self.handles[shard_id])
+
+    def _on_send(self, handle: ShardHandle) -> None:
+        _RPCS.inc()
+
+    def _on_success(self, handle: ShardHandle, latency_s: float) -> None:
+        handle.latency.record(latency_s)
+        handle.breaker.record_success(handle.latency)
+
+    def _on_conn_error(self, handle: ShardHandle) -> None:
+        handle.mark_dead()
+        _FAILURES.inc()
+        self._note_failure()
+
+    def _on_timeout(self, handle: ShardHandle) -> None:
+        # The reply may still arrive; the frame stays owed and is drained
+        # before the handle's next use.  The breaker counts the timeout.
+        handle.breaker.record_failure("timeout")
+
+    def _on_outpaced(self, handle: ShardHandle) -> None:
+        handle.breaker.record_failure("outpaced")
+
+    def _note_retry(self) -> None:
+        self.n_retries += 1
+        _RETRIES.inc()
 
     def search(self, query: np.ndarray, k: int = 10, ef: int | None = None,
                deadline_ms: float | None = None) -> SearchResult:
@@ -589,35 +792,13 @@ class ClusterRouter:
                     max(remaining, 0.1), self.merge_reserve)
             return msg
 
-        # Scatter: send to one live replica per partition, all before any
-        # reply is read, so workers overlap their compute.  The lock keeps
-        # concurrent callers (front-door executor threads) from
+        # Scatter one block per partition, then gather every partition's
+        # reply through the multiplexed selector loop (hedges, breakers,
+        # budget-bounded waits — see repro.cluster.resilience).  The lock
+        # keeps concurrent callers (front-door executor threads) from
         # interleaving frames on the shared sockets.
-        replies: dict[int, dict] = {}
         with self._io_lock:
-            in_flight: dict[int, ShardHandle] = {}
-            tried: dict[int, set[int]] = {
-                s: set() for s in range(self.n_shards)}
-            for s in range(self.n_shards):
-                handle = self._live_replica(s, tried[s])
-                while handle is not None:
-                    tried[s].add(handle.replica_id)
-                    try:
-                        send_msg(handle.sock, build_msg())
-                        in_flight[s] = handle
-                        break
-                    except (ConnectionError, OSError):
-                        handle.mark_dead()
-                        _FAILURES.inc()
-                        self._note_failure()
-                        handle = self._live_replica(s, tried[s])
-
-            # Gather (with replica retry on death), one block per partition.
-            for s, handle in list(in_flight.items()):
-                reply = self._gather_one(s, handle, tried[s], build_msg,
-                                         deadline)
-                if reply is not None:
-                    replies[s] = reply
+            replies = scatter_gather(self, build_msg, deadline)
 
         ids_blocks, dists_blocks = [], []
         shard_degraded = np.zeros(n, dtype=bool)
@@ -651,39 +832,6 @@ class ClusterRouter:
                 _DEGRADED.inc()
         return results
 
-    def _gather_one(self, shard_id: int, handle: ShardHandle,
-                    tried: set[int], build_msg, deadline) -> dict | None:
-        """Read one partition's reply, failing over to other replicas."""
-        while True:
-            try:
-                reply = recv_msg(handle.sock)
-                if "err" in reply:
-                    raise ConnectionError(f"shard error: {reply['err']}")
-                return reply
-            except (ConnectionError, OSError):
-                handle.mark_dead()
-                _FAILURES.inc()
-                self._note_failure()
-            # Resend to the partition's next live replica with the budget
-            # that is *left* — failover never extends the caller's wait.
-            resent = False
-            while not resent:
-                if deadline is not None and time.perf_counter() >= deadline:
-                    return None  # budget exhausted: partial results
-                handle = self._live_replica(shard_id, tried)
-                if handle is None:
-                    return None  # partition outage: partial results
-                tried.add(handle.replica_id)
-                self.n_retries += 1
-                _RETRIES.inc()
-                try:
-                    send_msg(handle.sock, build_msg())
-                    resent = True
-                except (ConnectionError, OSError):
-                    handle.mark_dead()
-                    _FAILURES.inc()
-                    self._note_failure()
-
     def search_many(self, queries: np.ndarray, k: int,
                     ef: int | None = None,
                     batch_size: int = 256) -> tuple[np.ndarray, np.ndarray]:
@@ -711,6 +859,7 @@ class ClusterRouter:
         """
         with self._io_lock:
             handle = self.handles[shard_id][replica_id]
+            overflowed = handle.catchup_overflow
             handle.close(graceful=False)
             handle.spawn(recover=True)
             self.n_respawns += 1
@@ -725,7 +874,54 @@ class ClusterRouter:
                 self._check(handle.rpc(msg))
             if pending:
                 _CATCHUP.inc(len(pending))
+            if overflowed:
+                # The buffer was dropped at overflow, so WAL recovery alone
+                # leaves this replica missing every mutation since; diff
+                # its row set against a live peer and repair.
+                self._resync_from_peer(handle)
+                handle.catchup_overflow = False
             return report
+
+    def _resync_from_peer(self, handle: ShardHandle,
+                          chunk: int = 512) -> None:
+        """Anti-entropy repair: converge ``handle`` on a live peer's rows.
+
+        Diffs the two replicas' gid sets (``gid_list``), deletes rows the
+        peer no longer has, and re-ships missing rows (vectors + payloads
+        via ``export_rows``) in chunks.  Worker-side adds are idempotent
+        per gid, so a crash mid-resync just means the next resync re-sends
+        less.  Raises :class:`ClusterError` when the partition has no live
+        peer to copy from — the data for the dropped mutations exists
+        nowhere the router can reach.
+        """
+        peer = next((h for h in self.handles[handle.shard_id]
+                     if h is not handle and h.alive), None)
+        if peer is None:
+            raise ClusterError(
+                f"partition {handle.shard_id}: catch-up buffer overflowed "
+                "and no live peer remains to resync from")
+        have = np.asarray(
+            self._check(handle.rpc({"op": "gid_list"}))["gids"],
+            dtype=np.int64)
+        want = np.asarray(
+            self._check(peer.rpc({"op": "gid_list"}))["gids"],
+            dtype=np.int64)
+        extra = np.setdiff1d(have, want)
+        missing = np.setdiff1d(want, have)
+        if extra.size:
+            self._check(handle.rpc({"op": "delete", "gids": extra}))
+        for i in range(0, missing.size, chunk):
+            gids = missing[i:i + chunk]
+            rows = self._check(peer.rpc({"op": "export_rows",
+                                         "gids": gids}))
+            msg = {"op": "add",
+                   "vectors": np.asarray(rows["vectors"], dtype=np.float32),
+                   "gids": gids}
+            if any(p is not None for p in rows.get("payloads", [])):
+                msg["payloads"] = rows["payloads"]
+            self._check(handle.rpc(msg))
+        self.n_resyncs += 1
+        _RESYNCS.inc()
 
     def live_replicas(self) -> int:
         return sum(h.alive for row in self.handles for h in row)
@@ -733,6 +929,7 @@ class ClusterRouter:
     # -- stats ---------------------------------------------------------------
 
     def router_stats(self) -> dict:
+        handles = [h for row in self.handles for h in row]
         return {
             "n_shards": self.n_shards,
             "n_replicas": self.n_replicas,
@@ -742,6 +939,16 @@ class ClusterRouter:
             "retries": self.n_retries,
             "degraded": self.n_degraded,
             "respawns": self.n_respawns,
+            "hedges": self.n_hedges,
+            "hedge_wins": self.n_hedge_wins,
+            "resyncs": self.n_resyncs,
+            "breaker_trips": sum(h.breaker.n_trips for h in handles),
+            "breaker_readmits": sum(h.breaker.n_readmits for h in handles),
+            "breakers_open": sum(h.breaker.state != resilience.CLOSED
+                                 for h in handles),
+            "catchup_depth": max((len(h.pending) for h in handles),
+                                 default=0),
+            "catchup_overflows": sum(h.catchup_overflow for h in handles),
             "deleted_gids": len(self._deleted),
             "next_gid": self._next_gid,
             "pq_shared": self._pq is not None,

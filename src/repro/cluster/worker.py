@@ -20,6 +20,10 @@ Fault injection: every request dispatch fires the ``cluster.worker_op``
 point, so a chaos plan armed via the ``arm_faults`` op can kill the process
 (``os._exit(137)``) on the Nth operation — *before* the op applies,
 matching the acked-write contract (no ack ⇒ not applied ⇒ safe to replay).
+The ``worker.pre_reply`` point fires after the op applied but *before* the
+reply frame is written: a ``delay`` rule there makes the worker
+slow-but-alive — deterministic gray failure on demand for the hedging and
+circuit-breaker chaos suites.
 """
 
 from __future__ import annotations
@@ -36,6 +40,10 @@ from repro.quantization.pq import ProductQuantizer
 
 #: Fault-injection point fired at the top of every worker request dispatch.
 WORKER_OP_POINT = "cluster.worker_op"
+
+#: Fault-injection point fired just before the worker sends each reply —
+#: a ``delay`` rule here simulates a gray (slow-but-alive) replica.
+WORKER_PRE_REPLY_POINT = "worker.pre_reply"
 
 
 def pq_signature(pq: ProductQuantizer) -> str:
@@ -152,6 +160,43 @@ class _ShardServer:
         return {"ok": True, "shard": self.shard_id,
                 "replica": self.replica_id,
                 "built": bool(self.store is not None and self.store.is_built)}
+
+    def op_health(self, msg: dict) -> dict:
+        """Cheap liveness/readiness answer (the breaker probe target)."""
+        return {"ok": True, "shard": self.shard_id,
+                "replica": self.replica_id,
+                "n_gids": len(self._local_of_gid),
+                "built": bool(self.store is not None and self.store.is_built)}
+
+    def op_gid_list(self, msg: dict) -> dict:
+        """Live global ids on this replica (anti-entropy resync diffing)."""
+        gids = np.fromiter(self._local_of_gid.keys(), dtype=np.int64,
+                           count=len(self._local_of_gid))
+        gids.sort()
+        return {"ok": True, "gids": gids}
+
+    def op_export_rows(self, msg: dict) -> dict:
+        """Ship raw vectors (+ user payloads) for a gid set to a peer.
+
+        Vectors come from the store's resident tier; for cosine stores
+        they are the normalized rows, which re-normalize idempotently on
+        the receiving side.  Unknown gids are an error — the caller just
+        diffed the gid sets, so asking for a gid this replica lacks means
+        the resync raced a concurrent delete and must be retried.
+        """
+        gids = np.asarray(msg["gids"], dtype=np.int64)
+        missing = [int(g) for g in gids.tolist()
+                   if int(g) not in self._local_of_gid]
+        if missing:
+            return {"err": f"export_rows: gids not present: {missing[:8]}"}
+        locals_ = [self._local_of_gid[int(g)] for g in gids.tolist()]
+        vectors = np.ascontiguousarray(
+            self.store.dc.data[locals_], dtype=np.float32)
+        payloads = []
+        for local in locals_:
+            p = self.store._payloads.get(local)
+            payloads.append(p.get("u") if isinstance(p, dict) else None)
+        return {"ok": True, "vectors": vectors, "payloads": payloads}
 
     def op_set_pq(self, msg: dict) -> dict:
         """Adopt the router-trained codebook (per-shard PQ code shipping)."""
@@ -274,6 +319,10 @@ class _ShardServer:
         FAULTS.arm(plan)
         return {"ok": True, "armed": len(msg["rules"])}
 
+    def op_disarm_faults(self, msg: dict) -> dict:
+        FAULTS.disarm()
+        return {"ok": True}
+
     def dispatch(self, msg: dict) -> dict:
         op = msg.get("op", "")
         handler = getattr(self, f"op_{op}", None)
@@ -325,6 +374,7 @@ def worker_main(sock, parent_sock, spec: dict) -> None:
             except Exception as exc:
                 reply = {"err": repr(exc),
                          "trace": traceback.format_exc(limit=8)}
+            FAULTS.fire(WORKER_PRE_REPLY_POINT)  # gray failure: slow reply
             send_msg(sock, reply)
     finally:
         sock.close()

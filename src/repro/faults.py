@@ -37,6 +37,11 @@ Registered injection points (every site documents itself by calling
                           the op applies (no ack ⇒ not applied, so the
                           router's catch-up replay is safe); armed remotely
                           via the worker's ``arm_faults`` op
+``worker.pre_reply``      after a shard worker op applied, before its reply
+                          frame is written — a ``delay`` rule here makes
+                          the replica gray (slow-but-alive), the trigger
+                          for hedged reads and latency-tripped breakers;
+                          disarmed remotely via ``disarm_faults``
 ========================  ====================================================
 
 ``action="kill"`` terminates the process with ``os._exit(137)`` — only
